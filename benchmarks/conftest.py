@@ -1,0 +1,37 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one paper artifact (table or figure), prints
+it, and archives the rendered text under ``benchmarks/results/`` so the
+EXPERIMENTS.md paper-vs-measured log can be refreshed from a single
+``pytest benchmarks/ --benchmark-only`` run.
+
+Budgets are scaled down from the paper's minutes/hours (see
+DESIGN.md); set ``REPRO_FULL=1`` for larger budgets.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def archive(results_dir):
+    """Print a rendered experiment table and archive it by name."""
+
+    def _archive(name: str, table) -> None:
+        text = table.render()
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _archive

@@ -1,0 +1,28 @@
+"""Section 4.4 ablation: do index interactions matter to the model?
+
+The paper argues that "index interactions are an important
+consideration to this problem and removing them would have a
+significant effect on solution quality."  This bench searches with the
+full model vs. an interaction-free projection (independent-benefit
+assumption, split speed-ups, no build interactions) and evaluates both
+orders under the *true* objective.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablation
+from repro.experiments.harness import quick_mode
+
+
+def test_ablation_interactions(benchmark, archive):
+    time_limit = 2.0 if quick_mode() else 20.0
+    table = benchmark.pedantic(
+        ablation.run, kwargs={"time_limit": time_limit}, rounds=1, iterations=1
+    )
+    archive("ablation_interactions", table)
+    assert table.rows
+    for row in table.rows:
+        label, full, naive = row[0], row[1], row[2]
+        if isinstance(full, float) and isinstance(naive, float):
+            # The interaction-aware search never loses to the blind one.
+            assert full <= naive * 1.02, label

@@ -1,0 +1,32 @@
+"""Section 4.4 objective-variant ablation: area vs pure deployment time.
+
+The paper argues the area objective subsumes deployment-time
+minimization (both goals fall out of `sum R_{k-1} C_k`).  This bench
+optimizes each objective separately and cross-evaluates: the
+deploy-time-only order must never beat the area-optimized order on
+area, and its deployment time must be at least as good (it optimizes
+nothing else).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import objectives
+from repro.experiments.harness import quick_mode
+
+
+def test_ablation_objectives(benchmark, archive):
+    time_limit = 3.0 if quick_mode() else 30.0
+    table = benchmark.pedantic(
+        objectives.run,
+        kwargs={"time_limit": time_limit},
+        rounds=1,
+        iterations=1,
+    )
+    archive("ablation_objectives", table)
+    rows = {row[0]: row for row in table.rows}
+    area_row = rows["area (paper)"]
+    deploy_row = rows["deploy time (Bruno)"]
+    # Each order wins on its own metric (small numeric slack for the
+    # stochastic search).
+    assert area_row[1] <= deploy_row[1] * 1.02
+    assert deploy_row[2] <= area_row[2] * 1.02

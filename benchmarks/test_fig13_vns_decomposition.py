@@ -1,0 +1,24 @@
+"""Figure 13: VNS improvement decomposition on TPC-DS (paper page 11).
+
+Paper shape: the sharp early improvement comes from deployment time
+(build interactions); later improvement comes from average query
+runtime during deployment.  Both series end no worse than they start.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig13
+from repro.experiments.harness import quick_mode
+
+
+def test_fig13_vns_decomposition(benchmark, archive):
+    time_limit = 6.0 if quick_mode() else 60.0
+    table = benchmark.pedantic(
+        fig13.run, kwargs={"time_limit": time_limit}, rounds=1, iterations=1
+    )
+    archive("fig13_vns_decomposition", table)
+    deploy = [row[1] for row in table.rows if isinstance(row[1], float)]
+    runtime = [row[2] for row in table.rows if isinstance(row[2], float)]
+    assert len(deploy) >= 2, "VNS must improve the incumbent at least once"
+    assert deploy[-1] <= deploy[0] + 1e-9
+    assert runtime[-1] <= runtime[0] * 1.001

@@ -1,0 +1,34 @@
+"""Figure 9: tail-pattern champions on reduced TPC-H (paper page 7).
+
+Paper shape: tail patterns grouped by tail *set* are comparable; the
+per-group champion is the cheapest internal order, and when one index
+closes every champion it is provably last (the paper's i2).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig9
+
+
+def test_fig9_tail_analysis(benchmark, archive):
+    table = benchmark.pedantic(
+        fig9.run,
+        kwargs={"n_indexes": 10, "tail_length": 3, "max_rows": 24},
+        rounds=1,
+        iterations=1,
+    )
+    archive("fig9_tail_analysis", table)
+    assert table.rows
+    champions = [row for row in table.rows if row[2]]
+    assert champions
+    # Within a displayed group, the champion carries its group's
+    # smallest tail objective.
+    groups = {}
+    for pattern, objective, champion in table.rows:
+        key = frozenset(str(pattern).split("->"))
+        groups.setdefault(key, []).append((float(objective), bool(champion)))
+    for members in groups.values():
+        best = min(value for value, _ in members)
+        for value, champion in members:
+            if champion:
+                assert value == best

@@ -1,0 +1,24 @@
+"""Table 4: experimental dataset statistics (paper page 10).
+
+Paper values: TPC-H |Q|=22 |I|=31 |P|=221 largest=5 build=31 query=80;
+TPC-DS |Q|=102 |I|=148 |P|=3386 largest=13 build=243 query=1363.
+Reproduced claim: same order-of-magnitude shapes and the TPC-DS/TPC-H
+density gap.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table4
+
+
+def test_table4_datasets(benchmark, archive):
+    table = benchmark.pedantic(table4.run, rounds=1, iterations=1)
+    archive("table4_datasets", table)
+    rows = {row[0]: row for row in table.rows}
+    measured_h, measured_ds = rows["TPC-H"], rows["TPC-DS"]
+    # Headline shape assertions (mirror the unit tests, kept here so the
+    # bench fails loudly if the extraction drifts).
+    assert measured_h[1] == 22
+    assert measured_ds[1] == 102
+    assert measured_ds[2] > 3 * measured_h[2]
+    assert measured_ds[3] > 5 * measured_h[3]

@@ -1,0 +1,26 @@
+"""Table 6: pruning-power drill-down on reduced TPC-H (paper page 10).
+
+Paper shape: each property family (A, C, M, D, T) added on top of bare
+CP improves solve time by orders of magnitude; the full ladder closes
+instances bare CP cannot touch.  We additionally report the implied
+ordered-pair count, the quantity that actually shrinks the space.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table6
+from repro.experiments.harness import quick_mode
+
+
+def test_table6_pruning_drilldown(benchmark, archive):
+    sizes = [6, 8, 10] if quick_mode() else None
+    table = benchmark.pedantic(
+        table6.run, kwargs={"sizes": sizes}, rounds=1, iterations=1
+    )
+    archive("table6_pruning_drilldown", table)
+    labels = [row[0] for row in table.rows]
+    assert labels == ["CP", "+A", "+AC", "+ACM", "+ACMD", "+ACMDT"]
+    implied = [row[-1] for row in table.rows]
+    # The constraint ladder only ever grows.
+    assert implied == sorted(implied)
+    assert implied[-1] > implied[0]

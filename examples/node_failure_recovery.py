@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Real-time recovery: re-deploying indexes lost in a node failure.
+
+The paper's Section 1.1 use case: a data warehouse spread over
+commodity machines loses a node, and with it a slice of the physical
+design.  The DBA's goal is not just to rebuild every lost index but to
+rebuild them in the order that restores query performance fastest —
+exactly the ordering objective, applied to the surviving-to-lost delta.
+
+This example:
+
+1. loads the packaged TPC-DS ordering instance (148-ish indexes),
+2. simulates a failure that wipes out a random third of the indexes,
+3. restricts the instance to the lost indexes (the surviving ones keep
+   serving queries, so only plans fully rebuildable from lost+surviving
+   indexes matter),
+4. compares three recovery orders — naive (id order), greedy, and
+   VNS — on time-to-90%-of-recovered-speedup.
+
+Run:  python examples/node_failure_recovery.py
+"""
+
+import random
+
+from repro import Budget, GreedySolver, ObjectiveEvaluator, VNSSolver, analyze
+from repro.core.instance import PlanDef, ProblemInstance
+from repro.workloads.extracted import build_tpcds_instance
+
+
+def simulate_node_failure(
+    instance: ProblemInstance, loss_fraction: float = 0.33, seed: int = 7
+) -> ProblemInstance:
+    """Project the ordering problem onto the indexes a dead node held.
+
+    Surviving indexes are treated as already built: plans that mix lost
+    and surviving indexes stay relevant, but only their *lost* members
+    still need deployment, and plans fully served by survivors are
+    already active (their speed-up is folded into the base runtime).
+    """
+    rng = random.Random(seed)
+    all_ids = list(range(instance.n_indexes))
+    lost = sorted(rng.sample(all_ids, int(len(all_ids) * loss_fraction)))
+    lost_set = set(lost)
+    survivors = frozenset(all_ids) - lost_set
+
+    remap = {old: new for new, old in enumerate(lost)}
+    plans = []
+    for plan in instance.plans:
+        missing = plan.indexes & lost_set
+        if not missing:
+            continue  # fully survived: active already
+        # Speed-up beyond what survivors deliver for this query.
+        query = instance.queries[plan.query_id]
+        surviving_speedup = instance.query_speedup(plan.query_id, survivors)
+        extra = min(plan.speedup, query.base_runtime) - surviving_speedup
+        if extra <= 0:
+            continue
+        plans.append(
+            PlanDef(
+                len(plans),
+                plan.query_id,
+                frozenset(remap[i] for i in missing),
+                extra,
+            )
+        )
+    recovered = instance.restrict_to_indexes(lost, name="recovery")
+    return recovered.with_plans(plans, name="recovery")
+
+
+def time_to_fraction(schedule, fraction: float = 0.9) -> float:
+    """Deployment time until ``fraction`` of the total speed-up is back."""
+    start = schedule.steps[0].runtime_before
+    end = schedule.final_runtime
+    target = start - fraction * (start - end)
+    for step in schedule.steps:
+        if step.runtime_after <= target:
+            return step.finish_time
+    return schedule.total_deploy_time
+
+
+def main() -> None:
+    full = build_tpcds_instance()
+    recovery = simulate_node_failure(full)
+    print(f"node failure: {recovery.n_indexes} indexes to rebuild")
+    print(f"plans still waiting on lost indexes: {recovery.n_plans}")
+
+    evaluator = ObjectiveEvaluator(recovery)
+    report = analyze(recovery, time_budget=5.0)
+
+    naive_order = list(range(recovery.n_indexes))
+    greedy = GreedySolver().solve(recovery, report.constraints)
+    vns = VNSSolver(seed=0, initial_order=list(greedy.solution.order)).solve(
+        recovery, report.constraints, Budget(time_limit=5.0)
+    )
+
+    print(f"\n{'order':<10}{'objective':>16}{'t(90% recovered)':>20}")
+    for name, order in (
+        ("naive", naive_order),
+        ("greedy", list(greedy.solution.order)),
+        ("vns", list(vns.solution.order)),
+    ):
+        schedule = evaluator.schedule(order)
+        print(
+            f"{name:<10}{schedule.objective:>16.3e}"
+            f"{time_to_fraction(schedule):>20.1f}"
+        )
+
+    best = evaluator.schedule(list(vns.solution.order))
+    print("\nfirst five rebuilds under the optimized order:")
+    for step in best.steps[:5]:
+        name = recovery.indexes[step.index_id].name
+        print(
+            f"  {step.position}. {name:<44} "
+            f"runtime {step.runtime_before:>12.0f} -> {step.runtime_after:>12.0f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+"""repro — Incremental Database Design: index deployment ordering.
+
+A faithful, self-contained reproduction of *"Optimizing Index Deployment
+Order for Evolving OLAP"* (Kimura, Coffrin, Rasin, Zdonik — EDBT 2012).
+
+Quickstart::
+
+    from repro import ProblemInstance, analyze, VNSSolver, Budget
+
+    instance = ...                       # build or load a matrix file
+    report = analyze(instance)           # Section-5 pruning constraints
+    result = VNSSolver().solve(
+        instance, report.constraints, Budget(time_limit=5.0)
+    )
+    print(result.solution.order, result.solution.objective)
+
+Packages:
+
+* :mod:`repro.core` — problem model, objective evaluation, matrix I/O.
+* :mod:`repro.analysis` — Section-5 pruning properties and the
+  iterate-and-recurse fixpoint.
+* :mod:`repro.solvers` — greedy/DP/random heuristics, exhaustive /
+  subset-DP / A* / CP / MIP exact search, Tabu / LNS / VNS local search.
+* :mod:`repro.dbms` — a simulated DBMS substrate: catalog, statistics,
+  cost-based what-if optimizer, index advisor, build-cost model, and
+  the instance-extraction pipeline of Section 8.
+* :mod:`repro.workloads` — TPC-H / TPC-DS style workloads and a
+  synthetic instance generator.
+* :mod:`repro.experiments` — regenerators for every table and figure of
+  the paper's evaluation.
+"""
+
+from repro.analysis import AnalysisReport, ConstraintSet, analyze
+from repro.core import (
+    BuildInteraction,
+    DeploymentSchedule,
+    IndexDef,
+    ObjectiveEvaluator,
+    PlanDef,
+    PrecedenceRule,
+    PrefixCachedEvaluator,
+    ProblemInstance,
+    QueryDef,
+    Solution,
+    SolveResult,
+    SolveStatus,
+    deploy_time_variant,
+    load_instance,
+    normalized_objective,
+    reduce_density,
+    reweighted_variant,
+    save_instance,
+)
+from repro.errors import (
+    BudgetExceeded,
+    CatalogError,
+    InfeasibleError,
+    QueryError,
+    ReproError,
+    SolverError,
+    ValidationError,
+)
+from repro.solvers import (
+    AStarSolver,
+    Budget,
+    CPSolver,
+    DPSolver,
+    ExhaustiveSolver,
+    GreedySolver,
+    LNSSolver,
+    MIPSolver,
+    RandomSolver,
+    SubsetDPSolver,
+    TabuSolver,
+    VNSSolver,
+    greedy_order,
+    random_statistics,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "ProblemInstance",
+    "IndexDef",
+    "QueryDef",
+    "PlanDef",
+    "BuildInteraction",
+    "PrecedenceRule",
+    "ObjectiveEvaluator",
+    "PrefixCachedEvaluator",
+    "DeploymentSchedule",
+    "Solution",
+    "SolveResult",
+    "SolveStatus",
+    "normalized_objective",
+    "reduce_density",
+    "save_instance",
+    "load_instance",
+    "deploy_time_variant",
+    "reweighted_variant",
+    # analysis
+    "ConstraintSet",
+    "AnalysisReport",
+    "analyze",
+    # solvers
+    "Budget",
+    "GreedySolver",
+    "greedy_order",
+    "DPSolver",
+    "RandomSolver",
+    "random_statistics",
+    "ExhaustiveSolver",
+    "SubsetDPSolver",
+    "AStarSolver",
+    "CPSolver",
+    "MIPSolver",
+    "TabuSolver",
+    "LNSSolver",
+    "VNSSolver",
+    # errors
+    "ReproError",
+    "ValidationError",
+    "InfeasibleError",
+    "BudgetExceeded",
+    "SolverError",
+    "CatalogError",
+    "QueryError",
+]

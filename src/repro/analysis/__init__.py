@@ -1,0 +1,41 @@
+"""Problem-specific pruning analyses (Section 5 of the paper).
+
+The entry point is :func:`analyze`, which runs the selected property
+passes (alliances, colonized, dominated, disjoint, tails) to a fixed
+point and returns a :class:`ConstraintSet` that every solver in
+:mod:`repro.solvers` can consume.
+"""
+
+from repro.analysis.alliances import apply_alliances, best_internal_order, find_alliances
+from repro.analysis.colonized import apply_colonized, find_colonized
+from repro.analysis.constraints import ConstraintSet
+from repro.analysis.disjoint import (
+    apply_disjoint,
+    disjoint_clusters,
+    index_density,
+    interaction_graph,
+)
+from repro.analysis.dominated import apply_dominated, find_dominated
+from repro.analysis.fixpoint import PROPERTY_ORDER, AnalysisReport, analyze
+from repro.analysis.tails import TailPattern, apply_tails, enumerate_tail_patterns
+
+__all__ = [
+    "ConstraintSet",
+    "AnalysisReport",
+    "analyze",
+    "PROPERTY_ORDER",
+    "find_alliances",
+    "apply_alliances",
+    "best_internal_order",
+    "find_colonized",
+    "apply_colonized",
+    "find_dominated",
+    "apply_dominated",
+    "interaction_graph",
+    "disjoint_clusters",
+    "index_density",
+    "apply_disjoint",
+    "TailPattern",
+    "enumerate_tail_patterns",
+    "apply_tails",
+]

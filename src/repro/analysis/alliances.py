@@ -1,0 +1,145 @@
+"""Alliance detection (Section 5.1, Appendix D.2).
+
+An *alliance* is a set of indexes that appear in query plans only as a
+complete group and have no build interactions crossing the group
+boundary.  Building a strict subset of an alliance yields no query
+speed-up, so Theorem 1 shows some optimal solution builds the whole
+group consecutively — which lets us glue the members together with
+``T_next = T_prev + 1`` constraints and effectively remove ``|group|-1``
+decision variables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.analysis.constraints import ConstraintSet
+from repro.core.instance import ProblemInstance
+
+__all__ = ["find_alliances", "apply_alliances", "best_internal_order"]
+
+_EXACT_ORDER_LIMIT = 7
+
+
+def find_alliances(instance: ProblemInstance) -> List[Tuple[int, ...]]:
+    """Return alliance groups (each a tuple of >= 2 index ids).
+
+    Two indexes are allied when they have identical plan-membership
+    signatures (they appear in exactly the same plans) — this is the
+    fixed point of the paper's overlap-breaking procedure — and no build
+    interaction connects a member to a non-member.
+    """
+    signature: Dict[int, FrozenSet[int]] = {}
+    for index in instance.indexes:
+        signature[index.index_id] = frozenset(
+            instance.plans_containing(index.index_id)
+        )
+    groups: Dict[FrozenSet[int], List[int]] = {}
+    for index_id, sig in signature.items():
+        if not sig:
+            continue  # index serves no plan: not an alliance candidate
+        groups.setdefault(sig, []).append(index_id)
+    alliances: List[Tuple[int, ...]] = []
+    for sig, members in sorted(groups.items(), key=lambda kv: min(kv[1])):
+        if len(members) < 2:
+            continue
+        member_set = set(members)
+        if _has_external_build_interaction(instance, member_set):
+            continue
+        alliances.append(tuple(sorted(members)))
+    return alliances
+
+
+def _has_external_build_interaction(
+    instance: ProblemInstance, members: set
+) -> bool:
+    for member in members:
+        for helper, _ in instance.build_helpers(member):
+            if helper not in members:
+                return True
+        for target, _ in instance.build_helped(member):
+            if target not in members:
+                return True
+    return False
+
+
+def best_internal_order(
+    instance: ProblemInstance, group: Sequence[int]
+) -> List[int]:
+    """Pick the cheapest internal order for an alliance group.
+
+    While an alliance is being deployed no query speeds up (the group is
+    incomplete), so the only order-dependent quantity is the total build
+    cost via *intra-group* build interactions.  Small groups are solved
+    exactly; larger ones greedily (cheapest next build).
+    """
+    members = list(group)
+    if len(members) <= 1:
+        return members
+    has_internal = any(
+        helper in group
+        for member in members
+        for helper, _ in instance.build_helpers(member)
+    )
+    if not has_internal:
+        return sorted(members)
+    if len(members) <= _EXACT_ORDER_LIMIT:
+        best_order: List[int] = sorted(members)
+        best_cost = _chain_cost(instance, best_order)
+        for perm in itertools.permutations(sorted(members)):
+            cost = _chain_cost(instance, perm)
+            if cost < best_cost - 1e-12:
+                best_cost = cost
+                best_order = list(perm)
+        return best_order
+    # Greedy: repeatedly build the member that is currently cheapest.
+    remaining = set(members)
+    built: set = set()
+    order: List[int] = []
+    while remaining:
+        nxt = min(
+            remaining,
+            key=lambda m: (instance.build_cost(m, built), m),
+        )
+        order.append(nxt)
+        built.add(nxt)
+        remaining.discard(nxt)
+    return order
+
+
+def _chain_cost(instance: ProblemInstance, order: Sequence[int]) -> float:
+    built: set = set()
+    total = 0.0
+    for member in order:
+        total += instance.build_cost(member, built)
+        built.add(member)
+    return total
+
+
+def apply_alliances(
+    instance: ProblemInstance, constraints: ConstraintSet
+) -> int:
+    """Detect alliances and add their consecutive-pair constraints.
+
+    Returns the number of new constraints added.  Groups whose members
+    are already ordered by existing constraints in a way that conflicts
+    with the chosen internal order are left untouched (the existing
+    constraints carry more specific information).
+    """
+    added = 0
+    for group in find_alliances(instance):
+        order = best_internal_order(instance, group)
+        conflict = any(
+            constraints.is_before(order[k + 1], order[k])
+            for k in range(len(order) - 1)
+        )
+        if conflict:
+            continue
+        for first, second in zip(order, order[1:]):
+            before = constraints.summary()
+            constraints.add_consecutive(first, second, reason="alliance")
+            after = constraints.summary()
+            if after != before:
+                added += 1
+    return added

@@ -1,0 +1,78 @@
+"""Colonized-index detection (Section 5.2, Appendix D.3).
+
+An index ``i`` is *colonized* by ``j`` when every plan using ``i`` also
+uses ``j`` (but not vice versa) and ``i`` has no build interaction that
+speeds up other indexes.  Building ``i`` before ``j`` can never help any
+query, so Theorem 2 shows some optimal solution builds the colonizer
+first: we may add ``T_j < T_i``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.analysis.constraints import ConstraintSet
+from repro.core.instance import ProblemInstance
+from repro.errors import InfeasibleError
+
+__all__ = ["find_colonized", "apply_colonized"]
+
+
+def find_colonized(instance: ProblemInstance) -> List[Tuple[int, int]]:
+    """Return ``(colonized, colonizer)`` pairs.
+
+    The colonizer relation must be strict — there is some plan using the
+    colonizer without the colonized index — which keeps the emitted
+    precedences acyclic (mutually-colonizing indexes have identical plan
+    signatures and are handled by the alliance analysis instead).
+    """
+    pairs: List[Tuple[int, int]] = []
+    for index in instance.indexes:
+        i = index.index_id
+        plan_ids = instance.plans_containing(i)
+        if not plan_ids:
+            continue
+        if instance.build_helped(i):
+            # i speeds up building another index: deferring i may lose
+            # that interaction, so the theorem does not apply.
+            continue
+        colonizers: Set[int] = None  # type: ignore[assignment]
+        for plan_id in plan_ids:
+            members = set(instance.plans[plan_id].indexes) - {i}
+            colonizers = members if colonizers is None else colonizers & members
+            if not colonizers:
+                break
+        if not colonizers:
+            continue
+        for j in sorted(colonizers):
+            # Strictness: j must appear in some plan without i.
+            strict = any(
+                i not in instance.plans[pid].indexes
+                for pid in instance.plans_containing(j)
+            )
+            if strict:
+                pairs.append((i, j))
+    return pairs
+
+
+def apply_colonized(
+    instance: ProblemInstance, constraints: ConstraintSet
+) -> int:
+    """Add ``colonizer -> colonized`` precedences; returns #new constraints.
+
+    A pair that would contradict existing constraints is skipped (the
+    existing constraints may encode stronger problem knowledge, e.g. a
+    hard precedence rule from the DBMS).
+    """
+    added = 0
+    for colonized, colonizer in find_colonized(instance):
+        if constraints.is_before(colonized, colonizer):
+            continue
+        try:
+            if constraints.add_precedence(
+                colonizer, colonized, reason="colonized"
+            ):
+                added += 1
+        except InfeasibleError:
+            continue
+    return added

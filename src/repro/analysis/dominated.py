@@ -1,0 +1,167 @@
+"""Dominated-index detection (Section 5.3, Appendix D.4).
+
+Index ``i`` is *dominated* by ``k`` when building ``k`` always yields at
+least the query speed-up of building ``i``, at no greater cost, in every
+context (conditions 1–5 of Appendix D.4).  Theorem 3 then shows no
+optimal solution builds ``i`` before ``k``, so we may add ``T_k < T_i``.
+
+This implementation applies the conditions in their *provably sound*
+special case, which matches the simplified setting the paper presents in
+Section 5.3:
+
+* both indexes participate only in **singleton plans** (so their benefit
+  does not depend on partner indexes, only on competing plans), and
+* neither index takes part in any **build interaction** (conditions 2,
+  3 and 5 are then immediate).
+
+Under those restrictions, per-query dominance of the singleton speed-ups
+plus a cheaper creation cost implies all five conditions, and the swap
+argument of Theorem 3 goes through verbatim.  The detection is
+re-evaluated on each fixpoint iteration so indexes that *become*
+effectively singleton after other reductions are caught.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.constraints import ConstraintSet
+from repro.core.instance import ProblemInstance
+from repro.errors import InfeasibleError
+
+__all__ = [
+    "find_dominated",
+    "find_useless",
+    "apply_dominated",
+    "singleton_speedups",
+]
+
+_EPS = 1e-12
+
+
+def singleton_speedups(
+    instance: ProblemInstance, index_id: int
+) -> Dict[int, float]:
+    """Best singleton-plan speed-up of ``index_id`` per query it serves."""
+    result: Dict[int, float] = {}
+    for plan_id in instance.plans_containing(index_id):
+        plan = instance.plans[plan_id]
+        if plan.indexes == frozenset([index_id]):
+            if plan.speedup > result.get(plan.query_id, 0.0):
+                result[plan.query_id] = plan.speedup
+    return result
+
+
+def _is_singleton_only(instance: ProblemInstance, index_id: int) -> bool:
+    return all(
+        len(instance.plans[pid].indexes) == 1
+        for pid in instance.plans_containing(index_id)
+    )
+
+
+def _no_build_interactions(instance: ProblemInstance, index_id: int) -> bool:
+    return not instance.build_helpers(index_id) and not instance.build_helped(
+        index_id
+    )
+
+
+def find_dominated(instance: ProblemInstance) -> List[Tuple[int, int]]:
+    """Return ``(dominated, dominator)`` pairs.
+
+    Ties (identical speed-up vectors and costs) are broken by index id so
+    the emitted relation stays antisymmetric.
+    """
+    candidates = [
+        ix.index_id
+        for ix in instance.indexes
+        if _is_singleton_only(instance, ix.index_id)
+        and _no_build_interactions(instance, ix.index_id)
+        and instance.plans_containing(ix.index_id)
+    ]
+    speedups = {i: singleton_speedups(instance, i) for i in candidates}
+    pairs: List[Tuple[int, int]] = []
+    for i in candidates:
+        for k in candidates:
+            if i == k:
+                continue
+            if _dominates(instance, speedups, k, i):
+                pairs.append((i, k))
+    return pairs
+
+
+def _dominates(
+    instance: ProblemInstance,
+    speedups: Dict[int, Dict[int, float]],
+    k: int,
+    i: int,
+) -> bool:
+    """True when ``k`` dominates ``i`` (build ``k`` first)."""
+    cost_k = instance.indexes[k].create_cost
+    cost_i = instance.indexes[i].create_cost
+    if cost_k > cost_i + _EPS:
+        return False
+    s_i = speedups[i]
+    s_k = speedups[k]
+    # Condition 1 (per query): k's speed-up >= i's wherever i helps.
+    for query_id, value in s_i.items():
+        if s_k.get(query_id, 0.0) + _EPS < value:
+            return False
+    strictly_better = (
+        cost_k < cost_i - _EPS
+        or any(
+            s_k.get(q, 0.0) > s_i.get(q, 0.0) + _EPS
+            for q in set(s_i) | set(s_k)
+        )
+    )
+    if strictly_better:
+        return True
+    # Complete tie: use id order as the canonical direction.
+    return k < i
+
+
+def find_useless(instance: ProblemInstance) -> List[int]:
+    """Indexes serving no plan and helping no build.
+
+    Deploying such an index can only delay everything after it, so some
+    optimal solution builds all of them last (it may still *receive*
+    build help, which only improves by being late).  This is the extreme
+    case of domination: every other index dominates it.
+    """
+    return [
+        ix.index_id
+        for ix in instance.indexes
+        if not instance.plans_containing(ix.index_id)
+        and not instance.build_helped(ix.index_id)
+    ]
+
+
+def apply_dominated(
+    instance: ProblemInstance, constraints: ConstraintSet
+) -> int:
+    """Add ``dominator -> dominated`` precedences; returns #new constraints."""
+    added = 0
+    useless = set(find_useless(instance))
+    for u in sorted(useless):
+        for other in range(instance.n_indexes):
+            if other == u:
+                continue
+            if other in useless and other > u:
+                continue  # order useless indexes among themselves by id
+            if constraints.is_before(u, other):
+                continue
+            try:
+                if constraints.add_precedence(other, u, reason="useless-last"):
+                    added += 1
+            except InfeasibleError:
+                continue
+    for dominated, dominator in find_dominated(instance):
+        if constraints.is_before(dominated, dominator):
+            continue
+        try:
+            if constraints.add_precedence(
+                dominator, dominated, reason="dominated"
+            ):
+                added += 1
+        except InfeasibleError:
+            continue
+    return added

@@ -1,0 +1,227 @@
+"""Command-line interface for the index deployment ordering toolkit.
+
+Three subcommands mirror the Figure-3 pipeline stages a DBA would
+script:
+
+* ``repro analyze <matrix.json>`` — run the Section-5 pre-analysis and
+  report the deduced constraints;
+* ``repro solve <matrix.json>`` — order the deployment with a chosen
+  solver and print the schedule (optionally writing the order to JSON);
+* ``repro experiment <name>`` — regenerate one of the paper's tables or
+  figures (``table4``..``fig13``, ``build_savings``, ``ablation``,
+  ``objectives``).
+
+Usage::
+
+    python -m repro solve matrix.json --solver vns --time-limit 10
+    python -m repro analyze matrix.json
+    python -m repro experiment table7
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.fixpoint import analyze
+from repro.core.instance import ProblemInstance
+from repro.core.objective import ObjectiveEvaluator, normalized_objective
+from repro.core.serialization import load_instance
+from repro.errors import ReproError
+from repro.solvers.astar import AStarSolver, SubsetDPSolver
+from repro.solvers.base import Budget, Solver
+from repro.solvers.cp.search import CPSolver
+from repro.solvers.dp import DPSolver
+from repro.solvers.exhaustive import ExhaustiveSolver
+from repro.solvers.greedy import GreedySolver
+from repro.solvers.localsearch.lns import LNSSolver
+from repro.solvers.localsearch.tabu import TabuSolver
+from repro.solvers.localsearch.vns import VNSSolver
+from repro.solvers.mip.branch_bound import MIPSolver
+from repro.solvers.random_search import RandomSolver
+
+__all__ = ["main", "build_parser"]
+
+#: Solver names accepted by ``repro solve --solver``.
+SOLVERS = {
+    "greedy": GreedySolver,
+    "dp": DPSolver,
+    "random": RandomSolver,
+    "exhaustive": ExhaustiveSolver,
+    "subset-dp": SubsetDPSolver,
+    "astar": AStarSolver,
+    "cp": CPSolver,
+    "mip": MIPSolver,
+    "ts-bswap": lambda: TabuSolver(variant="best"),
+    "ts-fswap": lambda: TabuSolver(variant="first"),
+    "lns": LNSSolver,
+    "vns": VNSSolver,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Index deployment ordering (Kimura et al., EDBT 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="order a matrix file's deployment")
+    solve.add_argument("matrix", help="path to a matrix JSON file")
+    solve.add_argument(
+        "--solver",
+        choices=sorted(SOLVERS),
+        default="vns",
+        help="solution method (default: vns)",
+    )
+    solve.add_argument(
+        "--time-limit",
+        type=float,
+        default=10.0,
+        help="wall-clock budget in seconds (default: 10)",
+    )
+    solve.add_argument(
+        "--no-analysis",
+        action="store_true",
+        help="skip the Section-5 pre-analysis constraints",
+    )
+    solve.add_argument(
+        "--output",
+        help="write the resulting order to this JSON file",
+    )
+    solve.add_argument(
+        "--schedule",
+        action="store_true",
+        help="print the step-by-step deployment schedule",
+    )
+
+    analyze_cmd = sub.add_parser(
+        "analyze", help="run the pruning pre-analysis on a matrix file"
+    )
+    analyze_cmd.add_argument("matrix", help="path to a matrix JSON file")
+    analyze_cmd.add_argument(
+        "--properties",
+        default="ACMDT",
+        help="property subset to run (letters from ACMDT; default all)",
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    experiment.add_argument(
+        "name",
+        help="experiment name (e.g. table5, fig11, objectives)",
+    )
+    return parser
+
+
+def _load(path: str) -> ProblemInstance:
+    try:
+        return load_instance(path)
+    except FileNotFoundError:
+        raise ReproError(f"matrix file not found: {path}") from None
+
+
+def _cmd_solve(args: argparse.Namespace, out) -> int:
+    instance = _load(args.matrix)
+    print(f"instance: {instance}", file=out)
+    constraints = None
+    if not args.no_analysis:
+        report = analyze(instance, time_budget=min(30.0, args.time_limit))
+        constraints = report.constraints
+        print(f"analysis: {report.describe()}", file=out)
+    solver_factory = SOLVERS[args.solver]
+    solver: Solver = solver_factory()
+    result = solver.solve(
+        instance, constraints, Budget(time_limit=args.time_limit)
+    )
+    print(result.describe(), file=out)
+    if result.solution is None:
+        print("no solution found", file=out)
+        return 1
+    evaluator = ObjectiveEvaluator(instance)
+    schedule = evaluator.schedule(result.solution.order)
+    print(
+        f"objective: {result.solution.objective:.6g} "
+        f"(normalized {normalized_objective(instance, result.solution.objective):.2f})",
+        file=out,
+    )
+    print(f"deployment time: {schedule.total_deploy_time:.6g}", file=out)
+    if args.schedule:
+        print(f"{'#':>3} {'index':<40} {'cost':>12} {'runtime after':>14}", file=out)
+        for step in schedule.steps:
+            name = instance.indexes[step.index_id].name
+            print(
+                f"{step.position:>3} {name:<40} "
+                f"{step.build_cost:>12.4g} {step.runtime_after:>14.6g}",
+                file=out,
+            )
+    if args.output:
+        payload = {
+            "instance": instance.name,
+            "solver": args.solver,
+            "status": result.status.value,
+            "objective": result.solution.objective,
+            "order": [
+                instance.indexes[i].name for i in result.solution.order
+            ],
+            "order_ids": list(result.solution.order),
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=1)
+        print(f"order written to {args.output}", file=out)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace, out) -> int:
+    instance = _load(args.matrix)
+    print(f"instance: {instance}", file=out)
+    report = analyze(instance, properties=args.properties)
+    print(report.describe(), file=out)
+    summary = report.constraints.summary()
+    for key, value in sorted(summary.items()):
+        print(f"  {key}: {value}", file=out)
+    for first, second in report.constraints.consecutive_pairs:
+        a = instance.indexes[first].name
+        b = instance.indexes[second].name
+        print(f"  alliance: {a} immediately before {b}", file=out)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace, out) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    runner = ALL_EXPERIMENTS.get(args.name)
+    if runner is None:
+        print(
+            f"unknown experiment {args.name!r}; available: "
+            + ", ".join(sorted(ALL_EXPERIMENTS)),
+            file=out,
+        )
+        return 2
+    print(runner().render(), file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "solve": _cmd_solve,
+        "analyze": _cmd_analyze,
+        "experiment": _cmd_experiment,
+    }
+    try:
+        return handlers[args.command](args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

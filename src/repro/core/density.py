@@ -1,0 +1,74 @@
+"""Interaction-density reduction, as used in the paper's Section 8.1.
+
+The exact-search experiments (Tables 5 and 6) vary both the number of
+indexes and the *density* of interactions:
+
+* ``low`` density — "remove all suboptimal query plans and build
+  interactions": each query keeps only its single best plan, and all
+  build interactions are dropped.
+* ``mid`` density — "remove all but one suboptimal query plan and build
+  interactions with less than 15% effects": each query keeps its best
+  plan plus its best suboptimal plan, and a build interaction survives
+  only if its saving is at least 15% of the target's creation cost.
+* ``full`` — the instance untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.instance import BuildInteraction, PlanDef, ProblemInstance
+from repro.errors import ValidationError
+
+__all__ = ["reduce_density", "DENSITY_LEVELS"]
+
+DENSITY_LEVELS = ("low", "mid", "full")
+
+_MID_DENSITY_MIN_EFFECT = 0.15
+
+
+def _top_plans_per_query(
+    instance: ProblemInstance, keep_per_query: int
+) -> List[PlanDef]:
+    """Keep the ``keep_per_query`` highest-speed-up plans of each query."""
+    kept: List[PlanDef] = []
+    for query in instance.queries:
+        plan_ids = instance.plans_of_query(query.query_id)
+        plans = sorted(
+            (instance.plans[pid] for pid in plan_ids),
+            key=lambda p: (-p.speedup, p.plan_id),
+        )
+        kept.extend(plans[:keep_per_query])
+    kept.sort(key=lambda p: p.plan_id)
+    return kept
+
+
+def reduce_density(instance: ProblemInstance, level: str) -> ProblemInstance:
+    """Return a copy of ``instance`` at the requested interaction density.
+
+    Args:
+        instance: The full-density instance.
+        level: One of ``"low"``, ``"mid"``, ``"full"``.
+
+    Raises:
+        ValidationError: If ``level`` is not recognized.
+    """
+    if level not in DENSITY_LEVELS:
+        raise ValidationError(
+            f"unknown density level {level!r}; expected one of {DENSITY_LEVELS}"
+        )
+    if level == "full":
+        return instance
+    if level == "low":
+        plans = _top_plans_per_query(instance, keep_per_query=1)
+        reduced = instance.with_plans(plans, name=f"{instance.name}-low")
+        return reduced.with_build_interactions((), name=f"{instance.name}-low")
+    # mid density
+    plans = _top_plans_per_query(instance, keep_per_query=2)
+    reduced = instance.with_plans(plans, name=f"{instance.name}-mid")
+    strong: List[BuildInteraction] = []
+    for bi in instance.build_interactions:
+        create_cost = instance.indexes[bi.target].create_cost
+        if bi.saving >= _MID_DENSITY_MIN_EFFECT * create_cost:
+            strong.append(bi)
+    return reduced.with_build_interactions(strong, name=f"{instance.name}-mid")

@@ -1,0 +1,534 @@
+"""Problem-instance data model for the index deployment ordering problem.
+
+This module defines the immutable value objects that make up a problem
+instance (Section 4 of the paper) and :class:`ProblemInstance` itself,
+which bundles them together with derived lookup tables used by the
+objective evaluator, the pruning analyses, and every solver.
+
+The vocabulary follows Table 2 of the paper:
+
+* an *index* ``i`` has an original creation cost ``ctime(i)``,
+* a *query* ``q`` has an original runtime ``qtime(q)``,
+* a *query plan* ``p`` is a set of indexes that, once all present, speeds
+  query ``q`` up by ``qspdup(p, q)`` relative to its original runtime,
+* a *build interaction* ``cspdup(i, j)`` says that an already-built index
+  ``j`` reduces the cost of creating index ``i``,
+* a *precedence* says index ``a`` must be deployed before index ``b``
+  (e.g. a materialized view's clustered index before its secondaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "IndexDef",
+    "QueryDef",
+    "PlanDef",
+    "BuildInteraction",
+    "PrecedenceRule",
+    "ProblemInstance",
+]
+
+
+@dataclass(frozen=True)
+class IndexDef:
+    """An index that may be deployed.
+
+    Attributes:
+        index_id: Dense identifier in ``range(n_indexes)``.
+        name: Human-readable name, e.g. ``"ix_lineitem_shipdate"``.
+        create_cost: ``ctime(i)`` — cost (abstract seconds) of building the
+            index from the base table with no helper indexes present.
+        size: Storage footprint estimate; informational only (used by the
+            advisor substrate, not by the ordering objective).
+    """
+
+    index_id: int
+    name: str
+    create_cost: float
+    size: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.index_id < 0:
+            raise ValidationError(f"index_id must be >= 0, got {self.index_id}")
+        if self.create_cost <= 0:
+            raise ValidationError(
+                f"index {self.name!r}: create_cost must be positive, "
+                f"got {self.create_cost}"
+            )
+        if self.size < 0:
+            raise ValidationError(f"index {self.name!r}: size must be >= 0")
+
+
+@dataclass(frozen=True)
+class QueryDef:
+    """A workload query.
+
+    Attributes:
+        query_id: Dense identifier in ``range(n_queries)``.
+        name: Human-readable name, e.g. ``"tpch_q3"``.
+        base_runtime: ``qtime(q)`` — runtime with no candidate index built.
+        weight: Relative importance; the paper folds weighting into the
+            objective by scaling runtimes (Section 4.4).
+    """
+
+    query_id: int
+    name: str
+    base_runtime: float
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.query_id < 0:
+            raise ValidationError(f"query_id must be >= 0, got {self.query_id}")
+        if self.base_runtime < 0:
+            raise ValidationError(
+                f"query {self.name!r}: base_runtime must be >= 0"
+            )
+        if self.weight <= 0:
+            raise ValidationError(f"query {self.name!r}: weight must be positive")
+
+
+@dataclass(frozen=True)
+class PlanDef:
+    """A query plan: a set of indexes jointly enabling a speed-up.
+
+    A plan is *available* once every index in :attr:`indexes` has been
+    deployed; the query optimizer then runs ``query_id`` faster by
+    :attr:`speedup` (``qspdup(p, q)``).  A query may have many plans; the
+    evaluator applies the best available one (competing interactions,
+    constraint 3 of the model).
+    """
+
+    plan_id: int
+    query_id: int
+    indexes: FrozenSet[int]
+    speedup: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "indexes", frozenset(self.indexes))
+        if not self.indexes:
+            raise ValidationError(f"plan {self.plan_id}: must use >= 1 index")
+        if self.speedup <= 0:
+            raise ValidationError(
+                f"plan {self.plan_id}: speedup must be positive, got {self.speedup}"
+            )
+
+
+@dataclass(frozen=True)
+class BuildInteraction:
+    """A pairwise build interaction ``cspdup(target, helper)``.
+
+    If ``helper`` is already deployed when ``target`` is built, the build
+    cost of ``target`` drops by :attr:`saving` (constraint 5 of the model;
+    the paper observed build interactions to be pairwise in practice).
+    """
+
+    target: int
+    helper: int
+    saving: float
+
+    def __post_init__(self) -> None:
+        if self.target == self.helper:
+            raise ValidationError(
+                f"build interaction: target and helper are both {self.target}"
+            )
+        if self.saving <= 0:
+            raise ValidationError(
+                f"build interaction {self.target}<-{self.helper}: "
+                f"saving must be positive, got {self.saving}"
+            )
+
+
+@dataclass(frozen=True)
+class PrecedenceRule:
+    """A hard deployment-order requirement: ``before`` precedes ``after``.
+
+    Examples from the paper: a materialized view's clustered index must be
+    built before secondary indexes on the view; a correlation-exploiting
+    secondary index requires its clustered index first.
+    """
+
+    before: int
+    after: int
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.before == self.after:
+            raise ValidationError(
+                f"precedence: before and after are both {self.before}"
+            )
+
+
+class ProblemInstance:
+    """An immutable index-deployment-ordering problem.
+
+    The instance is the "matrix file" of the paper's solution pipeline
+    (Figure 3): everything a solver needs, with no further DBMS calls.
+
+    Derived lookup tables (plans per query, plans containing an index,
+    build helpers per index, ...) are computed once at construction and
+    shared by all solvers.
+
+    Args:
+        indexes: Index definitions with dense ids ``0..n-1`` in order.
+        queries: Query definitions with dense ids ``0..m-1`` in order.
+        plans: Query plans; plan ids must be dense ``0..|P|-1`` in order.
+        build_interactions: Pairwise build-cost savings.
+        precedences: Hard ordering requirements.
+        name: Label used in reports (e.g. ``"tpch"``).
+
+    Raises:
+        ValidationError: If ids are not dense, references dangle, a plan's
+            speed-up exceeds its query's base runtime, or a build saving
+            is not smaller than the target's creation cost.
+    """
+
+    def __init__(
+        self,
+        indexes: Sequence[IndexDef],
+        queries: Sequence[QueryDef],
+        plans: Sequence[PlanDef],
+        build_interactions: Sequence[BuildInteraction] = (),
+        precedences: Sequence[PrecedenceRule] = (),
+        name: str = "instance",
+    ) -> None:
+        self._indexes: Tuple[IndexDef, ...] = tuple(indexes)
+        self._queries: Tuple[QueryDef, ...] = tuple(queries)
+        self._plans: Tuple[PlanDef, ...] = tuple(plans)
+        self._build_interactions: Tuple[BuildInteraction, ...] = tuple(
+            build_interactions
+        )
+        self._precedences: Tuple[PrecedenceRule, ...] = tuple(precedences)
+        self.name = name
+        self._validate_ids()
+        self._build_lookups()
+
+    # ------------------------------------------------------------------
+    # Construction-time validation
+    # ------------------------------------------------------------------
+    def _validate_ids(self) -> None:
+        for pos, index in enumerate(self._indexes):
+            if index.index_id != pos:
+                raise ValidationError(
+                    f"index ids must be dense and ordered: position {pos} "
+                    f"holds id {index.index_id}"
+                )
+        for pos, query in enumerate(self._queries):
+            if query.query_id != pos:
+                raise ValidationError(
+                    f"query ids must be dense and ordered: position {pos} "
+                    f"holds id {query.query_id}"
+                )
+        for pos, plan in enumerate(self._plans):
+            if plan.plan_id != pos:
+                raise ValidationError(
+                    f"plan ids must be dense and ordered: position {pos} "
+                    f"holds id {plan.plan_id}"
+                )
+            if not 0 <= plan.query_id < len(self._queries):
+                raise ValidationError(
+                    f"plan {plan.plan_id}: unknown query {plan.query_id}"
+                )
+            for index_id in plan.indexes:
+                if not 0 <= index_id < len(self._indexes):
+                    raise ValidationError(
+                        f"plan {plan.plan_id}: unknown index {index_id}"
+                    )
+            query = self._queries[plan.query_id]
+            if plan.speedup > query.base_runtime + 1e-9:
+                raise ValidationError(
+                    f"plan {plan.plan_id}: speedup {plan.speedup} exceeds "
+                    f"base runtime {query.base_runtime} of query "
+                    f"{query.name!r}"
+                )
+        for bi in self._build_interactions:
+            for index_id in (bi.target, bi.helper):
+                if not 0 <= index_id < len(self._indexes):
+                    raise ValidationError(
+                        f"build interaction: unknown index {index_id}"
+                    )
+            target = self._indexes[bi.target]
+            if bi.saving >= target.create_cost:
+                raise ValidationError(
+                    f"build interaction {bi.target}<-{bi.helper}: saving "
+                    f"{bi.saving} must be < create_cost {target.create_cost}"
+                )
+        for rule in self._precedences:
+            for index_id in (rule.before, rule.after):
+                if not 0 <= index_id < len(self._indexes):
+                    raise ValidationError(
+                        f"precedence: unknown index {index_id}"
+                    )
+
+    def _build_lookups(self) -> None:
+        n = len(self._indexes)
+        m = len(self._queries)
+        self._plans_by_query: List[List[int]] = [[] for _ in range(m)]
+        self._plans_containing: List[List[int]] = [[] for _ in range(n)]
+        for plan in self._plans:
+            self._plans_by_query[plan.query_id].append(plan.plan_id)
+            for index_id in plan.indexes:
+                self._plans_containing[index_id].append(plan.plan_id)
+        helpers: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+        helped: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+        for bi in self._build_interactions:
+            helpers[bi.target].append((bi.helper, bi.saving))
+            helped[bi.helper].append((bi.target, bi.saving))
+        self._build_helpers = [tuple(h) for h in helpers]
+        self._build_helped = [tuple(h) for h in helped]
+        self._total_base_runtime = sum(
+            q.base_runtime * q.weight for q in self._queries
+        )
+
+    # ------------------------------------------------------------------
+    # Read-only views
+    # ------------------------------------------------------------------
+    @property
+    def indexes(self) -> Tuple[IndexDef, ...]:
+        """All index definitions, ordered by id."""
+        return self._indexes
+
+    @property
+    def queries(self) -> Tuple[QueryDef, ...]:
+        """All query definitions, ordered by id."""
+        return self._queries
+
+    @property
+    def plans(self) -> Tuple[PlanDef, ...]:
+        """All query plans, ordered by id."""
+        return self._plans
+
+    @property
+    def build_interactions(self) -> Tuple[BuildInteraction, ...]:
+        """All pairwise build interactions."""
+        return self._build_interactions
+
+    @property
+    def precedences(self) -> Tuple[PrecedenceRule, ...]:
+        """All hard precedence rules."""
+        return self._precedences
+
+    @property
+    def n_indexes(self) -> int:
+        """Number of indexes (the permutation length)."""
+        return len(self._indexes)
+
+    @property
+    def n_queries(self) -> int:
+        """Number of workload queries."""
+        return len(self._queries)
+
+    @property
+    def n_plans(self) -> int:
+        """Number of query plans across all queries."""
+        return len(self._plans)
+
+    @property
+    def total_base_runtime(self) -> float:
+        """``R_0``: weighted total query runtime with no index built."""
+        return self._total_base_runtime
+
+    def plans_of_query(self, query_id: int) -> Sequence[int]:
+        """Plan ids belonging to ``query_id``."""
+        return self._plans_by_query[query_id]
+
+    def plans_containing(self, index_id: int) -> Sequence[int]:
+        """Plan ids whose index set contains ``index_id``."""
+        return self._plans_containing[index_id]
+
+    def build_helpers(self, index_id: int) -> Sequence[Tuple[int, float]]:
+        """``(helper, saving)`` pairs that can cheapen building ``index_id``."""
+        return self._build_helpers[index_id]
+
+    def build_helped(self, index_id: int) -> Sequence[Tuple[int, float]]:
+        """``(target, saving)`` pairs whose build ``index_id`` can cheapen."""
+        return self._build_helped[index_id]
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def build_cost(self, index_id: int, built: Iterable[int]) -> float:
+        """``C(i, M)``: cost of building ``index_id`` given ``built`` exists.
+
+        Applies the single best available build interaction, per
+        constraint 5 of the mathematical model.
+        """
+        built_set = built if isinstance(built, (set, frozenset)) else set(built)
+        best_saving = 0.0
+        for helper, saving in self._build_helpers[index_id]:
+            if helper in built_set and saving > best_saving:
+                best_saving = saving
+        return self._indexes[index_id].create_cost - best_saving
+
+    def min_build_cost(self, index_id: int) -> float:
+        """Smallest possible build cost (every helper available)."""
+        helpers = self._build_helpers[index_id]
+        best = max((saving for _, saving in helpers), default=0.0)
+        return self._indexes[index_id].create_cost - best
+
+    def total_create_cost(self) -> float:
+        """Sum of original creation costs, ignoring build interactions."""
+        return sum(ix.create_cost for ix in self._indexes)
+
+    def query_speedup(self, query_id: int, built: Iterable[int]) -> float:
+        """``X_q``: best available plan speed-up for ``query_id``.
+
+        ``built`` is the set of deployed indexes; unavailable plans (any
+        missing index) contribute nothing (competing interactions).
+        """
+        built_set = built if isinstance(built, (set, frozenset)) else set(built)
+        best = 0.0
+        for plan_id in self._plans_by_query[query_id]:
+            plan = self._plans[plan_id]
+            if plan.speedup > best and plan.indexes <= built_set:
+                best = plan.speedup
+        return best
+
+    def total_runtime(self, built: Iterable[int]) -> float:
+        """``R_M``: weighted total runtime given deployed set ``built``."""
+        built_set = built if isinstance(built, (set, frozenset)) else set(built)
+        total = 0.0
+        for query in self._queries:
+            speedup = self.query_speedup(query.query_id, built_set)
+            total += (query.base_runtime - speedup) * query.weight
+        return total
+
+    def interaction_counts(self) -> Dict[str, int]:
+        """Summary statistics matching Table 4 of the paper.
+
+        Returns a dict with keys ``queries``, ``indexes``, ``plans``,
+        ``largest_plan``, ``build_interactions``, ``query_interactions``.
+        *Query interactions* counts plans that use two or more indexes —
+        each such plan couples the benefit of its member indexes.
+        """
+        largest = max((len(p.indexes) for p in self._plans), default=0)
+        query_inter = sum(1 for p in self._plans if len(p.indexes) >= 2)
+        return {
+            "queries": self.n_queries,
+            "indexes": self.n_indexes,
+            "plans": self.n_plans,
+            "largest_plan": largest,
+            "build_interactions": len(self._build_interactions),
+            "query_interactions": query_inter,
+        }
+
+    # ------------------------------------------------------------------
+    # Instance surgery (used by density reduction and pruning recursion)
+    # ------------------------------------------------------------------
+    def restrict_to_indexes(
+        self, keep: Iterable[int], name: Optional[str] = None
+    ) -> "ProblemInstance":
+        """Return a sub-instance over a subset of the indexes.
+
+        Indexes are re-numbered densely in ascending original-id order.
+        Plans that reference a dropped index are removed; queries are kept
+        (their base runtime still contributes to the objective).  Build
+        interactions and precedences between surviving indexes are kept.
+        """
+        keep_sorted = sorted(set(keep))
+        remap = {old: new for new, old in enumerate(keep_sorted)}
+        indexes = [
+            IndexDef(remap[ix.index_id], ix.name, ix.create_cost, ix.size)
+            for ix in self._indexes
+            if ix.index_id in remap
+        ]
+        plans = []
+        for plan in self._plans:
+            if all(i in remap for i in plan.indexes):
+                plans.append(
+                    PlanDef(
+                        len(plans),
+                        plan.query_id,
+                        frozenset(remap[i] for i in plan.indexes),
+                        plan.speedup,
+                    )
+                )
+        interactions = [
+            BuildInteraction(remap[bi.target], remap[bi.helper], bi.saving)
+            for bi in self._build_interactions
+            if bi.target in remap and bi.helper in remap
+        ]
+        precedences = [
+            PrecedenceRule(remap[r.before], remap[r.after], r.reason)
+            for r in self._precedences
+            if r.before in remap and r.after in remap
+        ]
+        return ProblemInstance(
+            indexes,
+            self._queries,
+            plans,
+            interactions,
+            precedences,
+            name=name or f"{self.name}[{len(indexes)}]",
+        )
+
+    def with_plans(
+        self, plans: Sequence[PlanDef], name: Optional[str] = None
+    ) -> "ProblemInstance":
+        """Return a copy with a different plan set (ids re-numbered)."""
+        renumbered = [
+            PlanDef(pos, p.query_id, p.indexes, p.speedup)
+            for pos, p in enumerate(plans)
+        ]
+        return ProblemInstance(
+            self._indexes,
+            self._queries,
+            renumbered,
+            self._build_interactions,
+            self._precedences,
+            name=name or self.name,
+        )
+
+    def with_build_interactions(
+        self,
+        build_interactions: Sequence[BuildInteraction],
+        name: Optional[str] = None,
+    ) -> "ProblemInstance":
+        """Return a copy with a different build-interaction set."""
+        return ProblemInstance(
+            self._indexes,
+            self._queries,
+            self._plans,
+            build_interactions,
+            self._precedences,
+            name=name or self.name,
+        )
+
+    def without_interactions(self) -> "ProblemInstance":
+        """Return an interaction-free variant (ablation §4.4).
+
+        Each query keeps only singleton plans; multi-index plans are
+        projected onto each member index with the plan's speed-up split
+        evenly (the independence assumption criticized by the paper).
+        Build interactions are dropped.
+        """
+        plans: List[PlanDef] = []
+        best_single: Dict[Tuple[int, int], float] = {}
+        for plan in self._plans:
+            share = plan.speedup / len(plan.indexes)
+            for index_id in plan.indexes:
+                key = (plan.query_id, index_id)
+                if share > best_single.get(key, 0.0):
+                    best_single[key] = share
+        for (query_id, index_id), speedup in sorted(best_single.items()):
+            plans.append(
+                PlanDef(len(plans), query_id, frozenset([index_id]), speedup)
+            )
+        return ProblemInstance(
+            self._indexes,
+            self._queries,
+            plans,
+            (),
+            self._precedences,
+            name=f"{self.name}-noninteracting",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ProblemInstance(name={self.name!r}, |I|={self.n_indexes}, "
+            f"|Q|={self.n_queries}, |P|={self.n_plans})"
+        )

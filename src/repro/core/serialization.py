@@ -1,0 +1,134 @@
+"""Matrix-file serialization for problem instances.
+
+The paper's pipeline (Figure 3) materializes the what-if analysis into a
+*matrix file* consumed by the solver.  This module defines that format as
+JSON: versioned, self-describing, round-trip safe, and stable across
+library versions so extracted instances can be checked into benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.instance import (
+    BuildInteraction,
+    IndexDef,
+    PlanDef,
+    PrecedenceRule,
+    ProblemInstance,
+    QueryDef,
+)
+from repro.errors import ValidationError
+
+__all__ = ["instance_to_dict", "instance_from_dict", "save_instance", "load_instance"]
+
+FORMAT_VERSION = 1
+
+
+def instance_to_dict(instance: ProblemInstance) -> Dict[str, Any]:
+    """Convert an instance to a JSON-serializable dict (matrix file)."""
+    return {
+        "format": "repro-matrix",
+        "version": FORMAT_VERSION,
+        "name": instance.name,
+        "indexes": [
+            {
+                "id": ix.index_id,
+                "name": ix.name,
+                "create_cost": ix.create_cost,
+                "size": ix.size,
+            }
+            for ix in instance.indexes
+        ],
+        "queries": [
+            {
+                "id": q.query_id,
+                "name": q.name,
+                "base_runtime": q.base_runtime,
+                "weight": q.weight,
+            }
+            for q in instance.queries
+        ],
+        "plans": [
+            {
+                "id": p.plan_id,
+                "query": p.query_id,
+                "indexes": sorted(p.indexes),
+                "speedup": p.speedup,
+            }
+            for p in instance.plans
+        ],
+        "build_interactions": [
+            {"target": bi.target, "helper": bi.helper, "saving": bi.saving}
+            for bi in instance.build_interactions
+        ],
+        "precedences": [
+            {"before": r.before, "after": r.after, "reason": r.reason}
+            for r in instance.precedences
+        ],
+    }
+
+
+def instance_from_dict(data: Dict[str, Any]) -> ProblemInstance:
+    """Reconstruct an instance from :func:`instance_to_dict` output.
+
+    Raises:
+        ValidationError: If the payload is not a recognized matrix file.
+    """
+    if not isinstance(data, dict) or data.get("format") != "repro-matrix":
+        raise ValidationError("not a repro matrix file (missing format marker)")
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported matrix file version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    try:
+        indexes = [
+            IndexDef(d["id"], d["name"], d["create_cost"], d.get("size", 0.0))
+            for d in data["indexes"]
+        ]
+        queries = [
+            QueryDef(d["id"], d["name"], d["base_runtime"], d.get("weight", 1.0))
+            for d in data["queries"]
+        ]
+        plans = [
+            PlanDef(d["id"], d["query"], frozenset(d["indexes"]), d["speedup"])
+            for d in data["plans"]
+        ]
+        interactions = [
+            BuildInteraction(d["target"], d["helper"], d["saving"])
+            for d in data.get("build_interactions", [])
+        ]
+        precedences = [
+            PrecedenceRule(d["before"], d["after"], d.get("reason", ""))
+            for d in data.get("precedences", [])
+        ]
+    except (KeyError, TypeError) as exc:
+        raise ValidationError(f"malformed matrix file: {exc}") from exc
+    return ProblemInstance(
+        indexes,
+        queries,
+        plans,
+        interactions,
+        precedences,
+        name=data.get("name", "instance"),
+    )
+
+
+def save_instance(instance: ProblemInstance, path: Union[str, Path]) -> None:
+    """Write an instance to ``path`` as a JSON matrix file."""
+    payload = instance_to_dict(instance)
+    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+
+def load_instance(path: Union[str, Path]) -> ProblemInstance:
+    """Read an instance previously written by :func:`save_instance`."""
+    text = Path(path).read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{path}: invalid JSON: {exc}") from exc
+    return instance_from_dict(data)

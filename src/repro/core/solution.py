@@ -1,0 +1,129 @@
+"""Solution and solver-result value objects.
+
+All solvers in :mod:`repro.solvers` return a :class:`SolveResult`, which
+carries the best :class:`Solution` found, a machine-readable
+:class:`SolveStatus`, search statistics, and an *anytime trace* — the
+sequence of ``(elapsed_seconds, objective)`` improvements used to draw
+the paper's Figure 11/12 curves.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.instance import ProblemInstance
+from repro.core.objective import ObjectiveEvaluator
+from repro.errors import ValidationError
+
+__all__ = ["Solution", "SolveStatus", "SolveResult", "AnytimeTrace"]
+
+
+@dataclass(frozen=True)
+class Solution:
+    """A deployment order together with its objective value."""
+
+    order: Tuple[int, ...]
+    objective: float
+
+    @staticmethod
+    def from_order(
+        instance: ProblemInstance, order: Sequence[int]
+    ) -> "Solution":
+        """Evaluate ``order`` against ``instance`` and wrap it."""
+        evaluator = ObjectiveEvaluator(instance)
+        return Solution(tuple(order), evaluator.evaluate(order))
+
+    def validate_against(self, instance: ProblemInstance) -> None:
+        """Check the stored objective matches a fresh evaluation.
+
+        Raises:
+            ValidationError: On permutation or objective mismatch.
+        """
+        evaluator = ObjectiveEvaluator(instance)
+        actual = evaluator.evaluate(self.order)
+        if abs(actual - self.objective) > 1e-6 * max(1.0, abs(actual)):
+            raise ValidationError(
+                f"stored objective {self.objective} != evaluated {actual}"
+            )
+
+
+class SolveStatus(enum.Enum):
+    """Terminal status of a solver run."""
+
+    OPTIMAL = "optimal"
+    """The solver proved the returned solution optimal."""
+
+    FEASIBLE = "feasible"
+    """A solution was found but optimality was not proved."""
+
+    TIMEOUT = "timeout"
+    """The budget expired; the best incumbent (if any) is returned."""
+
+    DID_NOT_FINISH = "did_not_finish"
+    """The solver gave up without any feasible solution (paper's "DF")."""
+
+    INFEASIBLE = "infeasible"
+    """The constraints admit no permutation at all."""
+
+
+class AnytimeTrace:
+    """Records ``(elapsed, objective)`` improvement events during a solve."""
+
+    def __init__(self, clock: Optional[float] = None) -> None:
+        self._start = time.perf_counter() if clock is None else clock
+        self._events: List[Tuple[float, float]] = []
+
+    def record(self, objective: float, elapsed: Optional[float] = None) -> None:
+        """Record an incumbent improvement at the current (or given) time."""
+        if elapsed is None:
+            elapsed = time.perf_counter() - self._start
+        self._events.append((elapsed, objective))
+
+    @property
+    def events(self) -> List[Tuple[float, float]]:
+        """All recorded ``(elapsed_seconds, objective)`` improvements."""
+        return list(self._events)
+
+    def objective_at(self, elapsed: float) -> Optional[float]:
+        """Best objective known at time ``elapsed``, or ``None``."""
+        best: Optional[float] = None
+        for when, objective in self._events:
+            if when <= elapsed and (best is None or objective < best):
+                best = objective
+        return best
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one solver invocation."""
+
+    solver: str
+    status: SolveStatus
+    solution: Optional[Solution]
+    runtime: float
+    nodes: int = 0
+    trace: List[Tuple[float, float]] = field(default_factory=list)
+    message: str = ""
+
+    @property
+    def objective(self) -> Optional[float]:
+        """Objective of the returned solution, or ``None``."""
+        return self.solution.objective if self.solution else None
+
+    @property
+    def proved_optimal(self) -> bool:
+        """True when the solver proved optimality."""
+        return self.status is SolveStatus.OPTIMAL
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        objective = (
+            f"{self.solution.objective:.4f}" if self.solution else "-"
+        )
+        return (
+            f"{self.solver}: status={self.status.value} obj={objective} "
+            f"nodes={self.nodes} time={self.runtime:.3f}s"
+        )

@@ -1,0 +1,99 @@
+"""Objective-variant transforms (Section 4.4 of the paper).
+
+The paper notes two variations of the objective that fit the same
+machinery "with minor modifications":
+
+* **query weighting** — "putting different weights on particular
+  queries can be incorporated by simply scaling up or down runtimes of
+  the queries";
+* **total deployment time** — "one can consider minimizing the total
+  deployment time, sum C_i, like [Bruno & Chaudhuri]".
+
+Both are implemented here as *instance transforms*: the returned
+instance is an ordinary :class:`ProblemInstance` whose area objective
+equals the variant objective on the original instance, so every solver,
+pruning analysis, and evaluator works unchanged.
+
+For the deployment-time variant the trick is a single constant
+"unit-runtime" query with no plans: the weighted runtime is then 1 at
+every step and the area ``sum R_{k-1} C_k`` collapses to
+``sum C_k`` — exactly the total deployment time, including build
+interactions.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.core.instance import ProblemInstance, QueryDef
+from repro.errors import ValidationError
+
+__all__ = ["deploy_time_variant", "reweighted_variant"]
+
+
+def deploy_time_variant(instance: ProblemInstance) -> ProblemInstance:
+    """Variant whose area objective equals total deployment time.
+
+    Queries and plans are replaced by one plan-less unit query; indexes,
+    build interactions, and precedences are preserved.  Minimizing the
+    standard objective on the result orders the deployment to exploit
+    build interactions as aggressively as possible (the Bruno &
+    Chaudhuri objective the paper contrasts with in Section 4.4).
+    """
+    return ProblemInstance(
+        indexes=instance.indexes,
+        queries=[QueryDef(0, "_unit_runtime", base_runtime=1.0)],
+        plans=[],
+        build_interactions=instance.build_interactions,
+        precedences=instance.precedences,
+        name=f"{instance.name}-deploytime",
+    )
+
+
+def reweighted_variant(
+    instance: ProblemInstance,
+    weights: Mapping[str, float],
+    default: Optional[float] = None,
+) -> ProblemInstance:
+    """Variant with per-query weights scaled by name.
+
+    Args:
+        instance: The instance to reweight.
+        weights: Query name -> multiplicative weight factor (applied on
+            top of the query's existing weight).
+        default: Factor for queries not named in ``weights``; ``None``
+            keeps their current weight.
+
+    Raises:
+        ValidationError: If ``weights`` names an unknown query or a
+            factor is not positive.
+    """
+    known = {query.name for query in instance.queries}
+    unknown = set(weights) - known
+    if unknown:
+        raise ValidationError(
+            f"reweighted_variant: unknown queries {sorted(unknown)}"
+        )
+    for name, factor in weights.items():
+        if factor <= 0:
+            raise ValidationError(
+                f"reweighted_variant: weight for {name!r} must be "
+                f"positive, got {factor}"
+            )
+    if default is not None and default <= 0:
+        raise ValidationError("reweighted_variant: default must be positive")
+    queries = []
+    for query in instance.queries:
+        factor = weights.get(query.name, default)
+        weight = query.weight if factor is None else query.weight * factor
+        queries.append(
+            QueryDef(query.query_id, query.name, query.base_runtime, weight)
+        )
+    return ProblemInstance(
+        indexes=instance.indexes,
+        queries=queries,
+        plans=instance.plans,
+        build_interactions=instance.build_interactions,
+        precedences=instance.precedences,
+        name=f"{instance.name}-reweighted",
+    )

@@ -1,0 +1,109 @@
+"""Deep consistency checks for problem instances and solutions.
+
+:class:`~repro.core.instance.ProblemInstance` validates structural
+invariants at construction.  This module adds the *semantic* checks that
+are cheap enough to run in tests and extraction pipelines but too strict
+to enforce unconditionally (e.g. dominance of plan speed-ups is a
+modelling convention, not a hard requirement).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.instance import ProblemInstance
+from repro.errors import InfeasibleError, ValidationError
+
+__all__ = ["lint_instance", "check_precedence_feasibility", "check_order_feasible"]
+
+
+def lint_instance(instance: ProblemInstance) -> List[str]:
+    """Return a list of human-readable warnings about an instance.
+
+    An empty list means the instance looks healthy.  Warnings flag
+    conditions that are legal but usually indicate an extraction bug:
+
+    * a query whose plans can never beat its base runtime share,
+    * duplicate plans (same query, same index set),
+    * an index appearing in no plan and no build interaction (it can
+      only ever hurt the objective),
+    * a plan strictly dominated by a subset plan of the same query
+      (larger index set, no larger speed-up).
+    """
+    warnings: List[str] = []
+    seen_plan_keys = {}
+    for plan in instance.plans:
+        key = (plan.query_id, plan.indexes)
+        if key in seen_plan_keys:
+            warnings.append(
+                f"duplicate plan for query {plan.query_id}: plans "
+                f"{seen_plan_keys[key]} and {plan.plan_id} share index set"
+            )
+        else:
+            seen_plan_keys[key] = plan.plan_id
+    for plan in instance.plans:
+        for other_id in instance.plans_of_query(plan.query_id):
+            other = instance.plans[other_id]
+            if (
+                other.plan_id != plan.plan_id
+                and other.indexes < plan.indexes
+                and other.speedup >= plan.speedup
+            ):
+                warnings.append(
+                    f"plan {plan.plan_id} is dominated by subset plan "
+                    f"{other.plan_id} (query {plan.query_id})"
+                )
+                break
+    for index in instance.indexes:
+        used_in_plans = bool(instance.plans_containing(index.index_id))
+        helps = bool(instance.build_helped(index.index_id))
+        if not used_in_plans and not helps:
+            warnings.append(
+                f"index {index.index_id} ({index.name!r}) appears in no "
+                f"plan and helps no build: it is pure overhead"
+            )
+    return warnings
+
+
+def check_precedence_feasibility(instance: ProblemInstance) -> None:
+    """Raise :class:`InfeasibleError` if precedence rules contain a cycle."""
+    n = instance.n_indexes
+    succ: List[List[int]] = [[] for _ in range(n)]
+    indeg = [0] * n
+    for rule in instance.precedences:
+        succ[rule.before].append(rule.after)
+        indeg[rule.after] += 1
+    stack = [i for i in range(n) if indeg[i] == 0]
+    visited = 0
+    while stack:
+        node = stack.pop()
+        visited += 1
+        for nxt in succ[node]:
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                stack.append(nxt)
+    if visited != n:
+        raise InfeasibleError("precedence rules contain a cycle")
+
+
+def check_order_feasible(
+    instance: ProblemInstance, order: Sequence[int]
+) -> None:
+    """Validate ``order`` is a permutation satisfying all precedences.
+
+    Raises:
+        ValidationError: If ``order`` is not a permutation or violates a
+            precedence rule.
+    """
+    n = instance.n_indexes
+    if len(order) != n or set(order) != set(range(n)):
+        raise ValidationError(
+            f"order must be a permutation of 0..{n - 1}, got {order!r}"
+        )
+    position = {index_id: pos for pos, index_id in enumerate(order)}
+    for rule in instance.precedences:
+        if position[rule.before] > position[rule.after]:
+            raise ValidationError(
+                f"order violates precedence {rule.before} -> {rule.after}"
+                + (f" ({rule.reason})" if rule.reason else "")
+            )

@@ -1,0 +1,57 @@
+"""Simulated DBMS substrate (the paper's commercial-DBMS stand-in).
+
+Pipeline pieces, mirroring Figure 3 of the paper: a :class:`Catalog` of
+tables and (hypothetical) indexes, a cost-based :class:`Optimizer`, the
+:class:`WhatIfOptimizer` atomic-configuration interface, an
+:class:`IndexAdvisor` design tool, the :class:`BuildCostModel` for index
+creation costs and build interactions, a row-level :class:`DataStore`
+executor for validation, and the :class:`InstanceExtractor` that turns
+it all into a solver-ready :class:`~repro.core.ProblemInstance`.
+"""
+
+from repro.dbms.advisor import AdvisorConfig, IndexAdvisor, generate_candidates
+from repro.dbms.build_cost import BuildCostModel
+from repro.dbms.catalog import Catalog
+from repro.dbms.executor import DataStore, ExecutionResult, generate_rows
+from repro.dbms.extract import ExtractionConfig, InstanceExtractor
+from repro.dbms.optimizer import AccessPath, CostModel, Optimizer, QueryPlan
+from repro.dbms.query import JoinEdge, Predicate, PredicateOp, Query, Workload
+from repro.dbms.schema import Column, IndexSpec, Table
+from repro.dbms.stats import (
+    combined_selectivity,
+    filtered_rows,
+    join_cardinality,
+    predicate_selectivity,
+)
+from repro.dbms.whatif import AtomicConfiguration, WhatIfOptimizer
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "Table",
+    "IndexSpec",
+    "Predicate",
+    "PredicateOp",
+    "JoinEdge",
+    "Query",
+    "Workload",
+    "CostModel",
+    "AccessPath",
+    "QueryPlan",
+    "Optimizer",
+    "WhatIfOptimizer",
+    "AtomicConfiguration",
+    "AdvisorConfig",
+    "IndexAdvisor",
+    "generate_candidates",
+    "BuildCostModel",
+    "ExtractionConfig",
+    "InstanceExtractor",
+    "DataStore",
+    "ExecutionResult",
+    "generate_rows",
+    "predicate_selectivity",
+    "combined_selectivity",
+    "filtered_rows",
+    "join_cardinality",
+]

@@ -1,0 +1,127 @@
+"""Index build-cost model with build interactions (Section 4.2).
+
+Building a B-tree costs: read the source, sort the entries, write the
+leaf level.  Existing indexes create the paper's *build interactions*:
+
+* **covering source** — if an existing index stores every column the new
+  index needs, the build scans its (narrower) leaf level instead of the
+  heap: ``i1(City)`` built from ``i2(City, Salary)``,
+* **sort avoidance** — if the source index's key order already matches
+  the new index's full key sequence, the sort is skipped entirely; a
+  matching first key column lets the sort run on nearly-sorted runs at
+  half cost: ``i2(City, Salary)`` built after ``i1(City)``.
+
+The paper observed up to ~80% single-index build savings from these
+effects; this model reproduces that range (wide table, narrow index).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.dbms.catalog import Catalog
+from repro.dbms.optimizer import CostModel
+from repro.dbms.schema import IndexSpec, Table
+
+__all__ = ["BuildCostModel"]
+
+_PARTIAL_SORT_FACTOR = 0.5
+_MIN_SAVING_FRACTION = 0.01
+
+
+class BuildCostModel:
+    """Estimates index creation costs and pairwise build savings."""
+
+    def __init__(
+        self, catalog: Catalog, cost_model: Optional[CostModel] = None
+    ) -> None:
+        self.catalog = catalog
+        self.cost = cost_model or CostModel()
+
+    # ------------------------------------------------------------------
+    def base_cost(self, spec: IndexSpec) -> float:
+        """Cost of building ``spec`` from the heap with no helpers."""
+        table = self.catalog.table(spec.table)
+        return (
+            self._scan_cost_heap(table)
+            + self._sort_cost(table, full=True)
+            + self._write_cost(spec, table)
+        )
+
+    def cost_with_helper(self, spec: IndexSpec, helper: IndexSpec) -> float:
+        """Cost of building ``spec`` when ``helper`` already exists."""
+        table = self.catalog.table(spec.table)
+        if helper.table != spec.table or helper.name == spec.name:
+            return self.base_cost(spec)
+        covering = helper.covers(spec.all_columns)
+        if covering:
+            scan = helper.leaf_pages(table) * self.cost.seq_page + (
+                table.row_count * self.cost.cpu_row
+            )
+        else:
+            scan = self._scan_cost_heap(table)
+        sort = self._sort_cost_with_helper(spec, helper, table, covering)
+        return scan + sort + self._write_cost(spec, table)
+
+    def cost_with_helpers(
+        self, spec: IndexSpec, helpers: Iterable[IndexSpec]
+    ) -> float:
+        """Cheapest build cost over all available helpers (pairwise max)."""
+        best = self.base_cost(spec)
+        for helper in helpers:
+            cost = self.cost_with_helper(spec, helper)
+            if cost < best:
+                best = cost
+        return best
+
+    def saving(self, spec: IndexSpec, helper: IndexSpec) -> float:
+        """Build-cost saving ``cspdup(spec, helper)``; 0 when negligible.
+
+        Savings below 1% of the base cost are treated as noise and
+        dropped, keeping extracted instances free of spurious
+        interactions.
+        """
+        base = self.base_cost(spec)
+        with_helper = self.cost_with_helper(spec, helper)
+        saving = base - with_helper
+        if saving < _MIN_SAVING_FRACTION * base:
+            return 0.0
+        return saving
+
+    # ------------------------------------------------------------------
+    def _scan_cost_heap(self, table: Table) -> float:
+        return table.pages * self.cost.seq_page + (
+            table.row_count * self.cost.cpu_row
+        )
+
+    def _sort_cost(self, table: Table, full: bool) -> float:
+        rows = table.row_count
+        if rows <= 1:
+            return 0.0
+        cost = rows * math.log2(rows + 1) * self.cost.cpu_sort_row
+        return cost if full else cost * _PARTIAL_SORT_FACTOR
+
+    def _sort_cost_with_helper(
+        self,
+        spec: IndexSpec,
+        helper: IndexSpec,
+        table: Table,
+        covering: bool,
+    ) -> float:
+        if covering and spec.key_prefix_of(helper):
+            # Source already delivers the target key order: no sort.
+            return 0.0
+        if (
+            covering
+            and helper.key_columns
+            and spec.key_columns
+            and helper.key_columns[0] == spec.key_columns[0]
+        ):
+            # Nearly-sorted input: cheap run-merge sort.
+            return self._sort_cost(table, full=False)
+        return self._sort_cost(table, full=True)
+
+    def _write_cost(self, spec: IndexSpec, table: Table) -> float:
+        return spec.leaf_pages(table) * self.cost.seq_page

@@ -1,0 +1,211 @@
+"""Structural query representation for the simulated DBMS.
+
+Queries are select-project-join-aggregate blocks encoded structurally —
+the information a what-if optimizer consumes — rather than SQL text:
+
+* :class:`Predicate` — single-table filters (equality, range, IN),
+* :class:`JoinEdge` — equi-join between two tables,
+* :class:`Query` — tables, filters, joins, referenced columns, and a
+  workload weight (execution frequency).
+
+This mirrors the substitution documented in DESIGN.md: the candidate
+generation, plan costing, and interaction structure depend only on which
+columns are filtered/joined/grouped and how selective those filters are.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import QueryError, ValidationError
+
+__all__ = ["PredicateOp", "Predicate", "JoinEdge", "Query", "Workload"]
+
+
+class PredicateOp(enum.Enum):
+    """Filter operator classes the cost model distinguishes."""
+
+    EQ = "eq"
+    RANGE = "range"
+    IN = "in"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single-table filter.
+
+    Attributes:
+        table: Table name.
+        column: Filtered column.
+        op: Operator class.
+        selectivity: Fraction of rows passing; ``None`` derives an
+            estimate from column statistics (``1/distinct`` for EQ, a
+            conventional 1/3 for ranges, ``values/distinct`` for IN).
+        values: For IN predicates, the number of probed values.
+    """
+
+    table: str
+    column: str
+    op: PredicateOp = PredicateOp.EQ
+    selectivity: Optional[float] = None
+    values: int = 1
+
+    def __post_init__(self) -> None:
+        if self.selectivity is not None and not 0.0 < self.selectivity <= 1.0:
+            raise ValidationError(
+                f"predicate on {self.table}.{self.column}: selectivity "
+                f"must be in (0, 1], got {self.selectivity}"
+            )
+        if self.values < 1:
+            raise ValidationError("IN predicate needs values >= 1")
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """An equi-join ``left.left_column = right.right_column``."""
+
+    left: str
+    left_column: str
+    right: str
+    right_column: str
+
+    def involves(self, table: str) -> bool:
+        """True when the edge touches ``table``."""
+        return table in (self.left, self.right)
+
+    def other(self, table: str) -> str:
+        """The table on the opposite side of ``table``."""
+        if table == self.left:
+            return self.right
+        if table == self.right:
+            return self.left
+        raise QueryError(f"join edge does not involve table {table!r}")
+
+    def column_of(self, table: str) -> str:
+        """The join column on ``table``'s side."""
+        if table == self.left:
+            return self.left_column
+        if table == self.right:
+            return self.right_column
+        raise QueryError(f"join edge does not involve table {table!r}")
+
+
+class Query:
+    """One workload query.
+
+    Args:
+        name: Unique query name (e.g. ``"tpch_q3"``).
+        tables: Tables referenced.
+        predicates: Single-table filters.
+        joins: Equi-join edges; the join graph must be connected over
+            ``tables`` (validated by the optimizer).
+        group_by: Columns grouped on, as ``(table, column)`` pairs.
+        select: Additional output columns, as ``(table, column)`` pairs
+            (aggregation inputs, projections).
+        weight: Execution frequency weight.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tables: Sequence[str],
+        predicates: Sequence[Predicate] = (),
+        joins: Sequence[JoinEdge] = (),
+        group_by: Sequence[Tuple[str, str]] = (),
+        select: Sequence[Tuple[str, str]] = (),
+        weight: float = 1.0,
+    ) -> None:
+        if not name:
+            raise ValidationError("query name must be non-empty")
+        if not tables:
+            raise QueryError(f"query {name!r}: needs at least one table")
+        if len(set(tables)) != len(tables):
+            raise QueryError(f"query {name!r}: duplicate table references")
+        if weight <= 0:
+            raise ValidationError(f"query {name!r}: weight must be positive")
+        self.name = name
+        self.tables: Tuple[str, ...] = tuple(tables)
+        self.predicates: Tuple[Predicate, ...] = tuple(predicates)
+        self.joins: Tuple[JoinEdge, ...] = tuple(joins)
+        self.group_by: Tuple[Tuple[str, str], ...] = tuple(group_by)
+        self.select: Tuple[Tuple[str, str], ...] = tuple(select)
+        self.weight = weight
+        table_set = set(self.tables)
+        for predicate in self.predicates:
+            if predicate.table not in table_set:
+                raise QueryError(
+                    f"query {name!r}: predicate on unreferenced table "
+                    f"{predicate.table!r}"
+                )
+        for join in self.joins:
+            for side in (join.left, join.right):
+                if side not in table_set:
+                    raise QueryError(
+                        f"query {name!r}: join touches unreferenced table "
+                        f"{side!r}"
+                    )
+        for table, _ in tuple(self.group_by) + tuple(self.select):
+            if table not in table_set:
+                raise QueryError(
+                    f"query {name!r}: output column on unreferenced table "
+                    f"{table!r}"
+                )
+
+    # ------------------------------------------------------------------
+    def predicates_on(self, table: str) -> List[Predicate]:
+        """Filters applying to ``table``."""
+        return [p for p in self.predicates if p.table == table]
+
+    def joins_of(self, table: str) -> List[JoinEdge]:
+        """Join edges touching ``table``."""
+        return [j for j in self.joins if j.involves(table)]
+
+    def columns_needed(self, table: str) -> List[str]:
+        """Every column of ``table`` the query touches.
+
+        Union of filter columns, join columns, group-by columns, and
+        selected columns — the set an index must store to be covering.
+        """
+        needed: Set[str] = set()
+        for predicate in self.predicates_on(table):
+            needed.add(predicate.column)
+        for join in self.joins_of(table):
+            needed.add(join.column_of(table))
+        for owner, column in tuple(self.group_by) + tuple(self.select):
+            if owner == table:
+                needed.add(column)
+        return sorted(needed)
+
+    def __repr__(self) -> str:
+        return (
+            f"Query({self.name!r}, tables={list(self.tables)}, "
+            f"|preds|={len(self.predicates)}, |joins|={len(self.joins)})"
+        )
+
+
+class Workload:
+    """A named, ordered collection of queries."""
+
+    def __init__(self, name: str, queries: Sequence[Query]) -> None:
+        self.name = name
+        self.queries: Tuple[Query, ...] = tuple(queries)
+        seen: Set[str] = set()
+        for query in self.queries:
+            if query.name in seen:
+                raise QueryError(f"duplicate query name {query.name!r}")
+            seen.add(query.name)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def query(self, name: str) -> Query:
+        """Look up a query by name."""
+        for query in self.queries:
+            if query.name == name:
+                return query
+        raise QueryError(f"unknown query {name!r}")

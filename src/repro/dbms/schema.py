@@ -1,0 +1,192 @@
+"""Relational schema objects for the simulated DBMS.
+
+The substrate models what the ordering problem actually consumes from a
+DBMS: table/column statistics precise enough for a cost-based optimizer
+and for an index build-cost model.  Physical layout is abstracted to
+page counts derived from row counts and column widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CatalogError, ValidationError
+
+__all__ = ["Column", "Table", "IndexSpec", "PAGE_BYTES"]
+
+#: Bytes per storage page; only ratios matter, but a realistic constant
+#: keeps page counts interpretable.
+PAGE_BYTES = 8192
+
+#: Per-row overhead (row header, null bitmap) in bytes.
+_ROW_OVERHEAD = 16
+
+#: Per-entry overhead in index leaf pages (pointer + header).
+_INDEX_ENTRY_OVERHEAD = 12
+
+
+@dataclass(frozen=True)
+class Column:
+    """A table column with optimizer statistics.
+
+    Attributes:
+        name: Column name, unique within its table.
+        width: Average stored width in bytes.
+        distinct: Number of distinct values (cardinality statistic).
+    """
+
+    name: str
+    width: int = 8
+    distinct: int = 100
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("column name must be non-empty")
+        if self.width <= 0:
+            raise ValidationError(f"column {self.name!r}: width must be > 0")
+        if self.distinct <= 0:
+            raise ValidationError(
+                f"column {self.name!r}: distinct must be > 0"
+            )
+
+
+class Table:
+    """A base table with row count and column statistics."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        row_count: int,
+    ) -> None:
+        if not name:
+            raise ValidationError("table name must be non-empty")
+        if row_count < 0:
+            raise ValidationError(f"table {name!r}: row_count must be >= 0")
+        self.name = name
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self.row_count = row_count
+        self._by_name: Dict[str, Column] = {}
+        for column in self.columns:
+            if column.name in self._by_name:
+                raise CatalogError(
+                    f"table {name!r}: duplicate column {column.name!r}"
+                )
+            self._by_name[column.name] = column
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name.
+
+        Raises:
+            CatalogError: If the column does not exist.
+        """
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise CatalogError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        """True when the table defines ``name``."""
+        return name in self._by_name
+
+    @property
+    def row_width(self) -> int:
+        """Average stored row width in bytes."""
+        return _ROW_OVERHEAD + sum(c.width for c in self.columns)
+
+    @property
+    def pages(self) -> int:
+        """Heap page count (the full-scan cost driver)."""
+        if self.row_count == 0:
+            return 1
+        rows_per_page = max(1, PAGE_BYTES // self.row_width)
+        return max(1, -(-self.row_count // rows_per_page))
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, cols={len(self.columns)}, "
+            f"rows={self.row_count})"
+        )
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """A (possibly hypothetical) B-tree index definition.
+
+    Attributes:
+        name: Index name, unique within the catalog.
+        table: Owning table name.
+        key_columns: Ordered key columns (seek/sort order).
+        include_columns: Non-key leaf payload columns (covering support).
+        clustered: Clustered indexes store the full row; at most one per
+            table.  A clustered index must be deployed before dependent
+            secondaries (the paper's precedence example).
+    """
+
+    name: str
+    table: str
+    key_columns: Tuple[str, ...]
+    include_columns: Tuple[str, ...] = ()
+    clustered: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "key_columns", tuple(self.key_columns))
+        object.__setattr__(
+            self, "include_columns", tuple(self.include_columns)
+        )
+        if not self.name:
+            raise ValidationError("index name must be non-empty")
+        if not self.key_columns:
+            raise ValidationError(
+                f"index {self.name!r}: needs at least one key column"
+            )
+        overlap = set(self.key_columns) & set(self.include_columns)
+        if overlap:
+            raise ValidationError(
+                f"index {self.name!r}: columns {sorted(overlap)} are both "
+                f"key and include"
+            )
+        if len(set(self.key_columns)) != len(self.key_columns):
+            raise ValidationError(
+                f"index {self.name!r}: duplicate key columns"
+            )
+
+    @property
+    def all_columns(self) -> Tuple[str, ...]:
+        """Key columns followed by include columns."""
+        return self.key_columns + self.include_columns
+
+    def covers(self, needed: Sequence[str]) -> bool:
+        """True when every needed column is stored in the index leaf."""
+        return set(needed) <= set(self.all_columns)
+
+    def entry_width(self, table: Table) -> int:
+        """Average leaf-entry width in bytes."""
+        width = _INDEX_ENTRY_OVERHEAD
+        if self.clustered:
+            return table.row_width
+        for column_name in self.all_columns:
+            width += table.column(column_name).width
+        return width
+
+    def leaf_pages(self, table: Table) -> int:
+        """Leaf page count (the index-scan cost driver)."""
+        if table.row_count == 0:
+            return 1
+        entries_per_page = max(1, PAGE_BYTES // self.entry_width(table))
+        return max(1, -(-table.row_count // entries_per_page))
+
+    def size_bytes(self, table: Table) -> int:
+        """Approximate total index size (leaf level dominates)."""
+        return self.leaf_pages(table) * PAGE_BYTES
+
+    def key_prefix_of(self, other: "IndexSpec") -> bool:
+        """True when this index's keys are a prefix of ``other``'s keys."""
+        if len(self.key_columns) > len(other.key_columns):
+            return False
+        return (
+            other.key_columns[: len(self.key_columns)] == self.key_columns
+        )

@@ -1,0 +1,69 @@
+"""Cardinality and selectivity estimation.
+
+Textbook System-R style estimates: equality selects ``1/distinct`` of a
+column, ranges default to 1/3, IN probes ``values/distinct``; conjuncts
+multiply under the independence assumption.  Join cardinalities use the
+``|L| * |R| / max(d_L, d_R)`` rule on the join columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.dbms.query import JoinEdge, Predicate, PredicateOp
+from repro.dbms.schema import Table
+
+__all__ = [
+    "predicate_selectivity",
+    "combined_selectivity",
+    "filtered_rows",
+    "join_cardinality",
+    "DEFAULT_RANGE_SELECTIVITY",
+]
+
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+
+_MIN_SELECTIVITY = 1e-9
+
+
+def predicate_selectivity(predicate: Predicate, table: Table) -> float:
+    """Fraction of ``table`` rows passing ``predicate``."""
+    if predicate.selectivity is not None:
+        return predicate.selectivity
+    column = table.column(predicate.column)
+    if predicate.op is PredicateOp.EQ:
+        return max(_MIN_SELECTIVITY, 1.0 / column.distinct)
+    if predicate.op is PredicateOp.IN:
+        return max(
+            _MIN_SELECTIVITY,
+            min(1.0, predicate.values / column.distinct),
+        )
+    return DEFAULT_RANGE_SELECTIVITY
+
+
+def combined_selectivity(
+    predicates: Sequence[Predicate], table: Table
+) -> float:
+    """Product of predicate selectivities (independence assumption)."""
+    selectivity = 1.0
+    for predicate in predicates:
+        selectivity *= predicate_selectivity(predicate, table)
+    return max(_MIN_SELECTIVITY, selectivity)
+
+
+def filtered_rows(
+    table: Table, predicates: Sequence[Predicate]
+) -> float:
+    """Estimated surviving rows after applying all filters."""
+    return table.row_count * combined_selectivity(predicates, table)
+
+
+def join_cardinality(
+    left_rows: float,
+    right_rows: float,
+    left_distinct: int,
+    right_distinct: int,
+) -> float:
+    """Equi-join output estimate ``|L|*|R| / max(dL, dR)``."""
+    denominator = max(left_distinct, right_distinct, 1)
+    return max(1.0, left_rows * right_rows / denominator)

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ValidationError(ReproError):
+    """A problem instance, solution, or model failed consistency checks."""
+
+
+class InfeasibleError(ReproError):
+    """No feasible solution exists under the given constraints.
+
+    Raised, for example, when precedence constraints contain a cycle so no
+    permutation of the indexes can satisfy them.
+    """
+
+
+class BudgetExceeded(ReproError):
+    """A solver exhausted its time or node budget before completing.
+
+    Solvers normally report budget exhaustion through their result status
+    rather than raising; this exception is reserved for callers that
+    explicitly request strict budget enforcement.
+    """
+
+
+class SolverError(ReproError):
+    """A solver reached an internal state it cannot recover from."""
+
+
+class CatalogError(ReproError):
+    """A DBMS catalog operation referenced an unknown or duplicate object."""
+
+
+class QueryError(ReproError):
+    """A query definition is malformed or references unknown schema objects."""

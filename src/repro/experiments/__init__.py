@@ -1,0 +1,57 @@
+"""Experiment regenerators for every table and figure of the paper.
+
+Each module exposes ``run(...) -> ResultTable``.  Budgets are scaled for
+Python (set ``REPRO_FULL=1`` for longer budgets); each table's notes
+record the paper-vs-measured comparison that EXPERIMENTS.md summarizes.
+"""
+
+from repro.experiments import (
+    ablation,
+    objectives,
+    build_savings,
+    fig9,
+    fig11,
+    fig12,
+    fig13,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+from repro.experiments.harness import DF, ResultTable, quick_mode
+from repro.experiments.instances import reduced_tpch, tpcds_instance, tpch_instance
+
+ALL_EXPERIMENTS = {
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "table7": table7.run,
+    "fig9": fig9.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "build_savings": build_savings.run,
+    "ablation": ablation.run,
+    "objectives": objectives.run,
+}
+
+__all__ = [
+    "ResultTable",
+    "DF",
+    "quick_mode",
+    "tpch_instance",
+    "tpcds_instance",
+    "reduced_tpch",
+    "ALL_EXPERIMENTS",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "fig9",
+    "fig11",
+    "fig12",
+    "fig13",
+    "build_savings",
+    "ablation",
+    "objectives",
+]

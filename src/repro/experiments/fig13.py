@@ -1,0 +1,90 @@
+"""Figure 13: where VNS improvements come from (TPC-DS).
+
+The paper decomposes the VNS objective gains into the two user-facing
+quantities: total deployment time (drops sharply in the first minutes as
+build interactions are exploited) and average query runtime during
+deployment (improves steadily afterwards as high-impact indexes move
+earlier).  This experiment re-runs VNS with an incumbent hook and
+evaluates the exact deployment schedule of every improvement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.fixpoint import analyze
+from repro.core.objective import ObjectiveEvaluator
+from repro.experiments.harness import ResultTable, quick_mode
+from repro.experiments.instances import tpcds_instance
+from repro.solvers.base import Budget
+from repro.solvers.greedy import greedy_order
+from repro.solvers.localsearch import VNSSolver
+
+__all__ = ["run", "vns_schedule_series"]
+
+
+def vns_schedule_series(
+    time_limit: float, seed: int = 0
+) -> List[Tuple[float, float, float]]:
+    """Run VNS on TPC-DS; return ``(t, deploy_time, avg_runtime)`` points.
+
+    Each point corresponds to an incumbent improvement; the incumbent
+    order's deployment schedule is evaluated exactly (no interpolation).
+    """
+    instance = tpcds_instance()
+    report = analyze(instance, time_budget=min(10.0, time_limit))
+    constraints = report.constraints
+    initial = greedy_order(instance, constraints)
+    evaluator = ObjectiveEvaluator(instance)
+    points: List[Tuple[float, float, float]] = []
+
+    def record(elapsed: float, order: List[int]) -> None:
+        schedule = evaluator.schedule(order)
+        points.append(
+            (
+                elapsed,
+                schedule.total_deploy_time,
+                schedule.average_runtime_during_deployment,
+            )
+        )
+
+    record(0.0, initial)
+    solver = VNSSolver(
+        seed=seed, initial_order=initial, on_improvement=record
+    )
+    solver.solve(instance, constraints, Budget(time_limit=time_limit))
+    return points
+
+
+def run(time_limit: Optional[float] = None) -> ResultTable:
+    """Regenerate Figure 13 as a two-series table."""
+    quick = quick_mode()
+    if time_limit is None:
+        time_limit = 6.0 if quick else 120.0
+    points = vns_schedule_series(time_limit)
+    table = ResultTable(
+        title=(
+            "Figure 13: VNS (TPC-DS) — deployment time and average query "
+            f"runtime during deployment (budget {time_limit:.0f}s)"
+        ),
+        headers=["Elapsed [s]", "Deployment time", "Avg query runtime"],
+    )
+    for elapsed, deploy, average in points:
+        table.add_row(elapsed, deploy, average)
+    if len(points) >= 2:
+        first_deploy = points[0][1]
+        last_deploy = points[-1][1]
+        table.add_note(
+            f"deployment time: {first_deploy:.1f} -> {last_deploy:.1f} "
+            f"({100 * (first_deploy - last_deploy) / first_deploy:.1f}% "
+            f"reduction)"
+        )
+    table.add_note(
+        "paper shape: deployment time falls early (build interactions), "
+        "average runtime keeps improving afterwards (speed-ups pulled "
+        "to early steps)"
+    )
+    return table
+
+if __name__ == "__main__":
+    print(run().render())

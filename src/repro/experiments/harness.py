@@ -1,0 +1,102 @@
+"""Shared experiment infrastructure: result tables and budget scaling.
+
+The paper's solver budgets are minutes to hours on 2011 hardware with
+C++ solvers (COMET, CPlex); this reproduction runs pure Python, so every
+experiment accepts a ``time_scale`` that shrinks budgets while keeping
+the *relative* budgets across methods identical.  Experiment outputs are
+:class:`ResultTable` objects that render in the same row/column layout
+as the paper's tables, which is what the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["ResultTable", "format_cell", "quick_mode", "DF"]
+
+#: Marker string matching the paper's "did not finish" cells.
+DF = "DF"
+
+
+def quick_mode() -> bool:
+    """True unless ``REPRO_FULL=1`` requests full-budget experiments."""
+    return os.environ.get("REPRO_FULL", "0") != "1"
+
+
+def format_cell(value: Any) -> str:
+    """Render one table cell the way the paper does.
+
+    Floats print with two decimals, sub-0.005 times as ``<0.01``;
+    ``None`` renders as an empty cell.
+    """
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return ""
+        if 0 < value < 0.005:
+            return "<0.01"
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class ResultTable:
+    """A paper-style results table.
+
+    Attributes:
+        title: Table caption, e.g. ``"Table 5: Exact Search"``.
+        headers: Column headers.
+        rows: Row cell values (mixed str/float/None).
+        notes: Free-form footnotes (paper-vs-measured commentary).
+    """
+
+    title: str
+    headers: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one row."""
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        """Append a footnote."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """ASCII-render the table with aligned columns."""
+        formatted = [[format_cell(cell) for cell in row] for row in self.rows]
+        widths = [len(header) for header in self.headers]
+        for row in formatted:
+            for position, cell in enumerate(row):
+                if position < len(widths):
+                    widths[position] = max(widths[position], len(cell))
+        lines = [self.title]
+        header_line = " | ".join(
+            header.ljust(widths[position])
+            for position, header in enumerate(self.headers)
+        )
+        lines.append(header_line)
+        lines.append("-+-".join("-" * width for width in widths))
+        for row in formatted:
+            lines.append(
+                " | ".join(
+                    cell.ljust(widths[position])
+                    for position, cell in enumerate(row)
+                )
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Machine-readable form (for EXPERIMENTS.md tooling)."""
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }

@@ -1,0 +1,61 @@
+"""Canonical experiment instances and size-reduced variants.
+
+Experiments share two extracted instances (TPC-H, TPC-DS) loaded from
+the packaged matrix-file artifacts, plus the reduced-TPC-H family used
+by the exact-search studies: the paper varies both the index count
+(keeping the most workload-relevant indexes) and the interaction density
+(Section 8.1 low/mid reductions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.density import reduce_density
+from repro.core.instance import ProblemInstance
+from repro.workloads.extracted import build_tpcds_instance, build_tpch_instance
+
+__all__ = ["tpch_instance", "tpcds_instance", "reduced_tpch"]
+
+_cache: Dict[Tuple[str, int, str], ProblemInstance] = {}
+
+
+def tpch_instance() -> ProblemInstance:
+    """The full TPC-H ordering instance."""
+    return build_tpch_instance()
+
+
+def tpcds_instance() -> ProblemInstance:
+    """The full TPC-DS ordering instance."""
+    return build_tpcds_instance()
+
+
+def reduced_tpch(n_indexes: int, density: str = "low") -> ProblemInstance:
+    """Reduced TPC-H instance: top ``n_indexes`` indexes at ``density``.
+
+    Indexes are ranked by total workload involvement (summed weighted
+    plan speed-ups, split across plan members) and the top ``n_indexes``
+    kept, preserving the interesting interaction structure; the result
+    is then density-reduced per Section 8.1.  This is the instance
+    family of Tables 5 and 6.
+    """
+    key = ("tpch", n_indexes, density)
+    if key in _cache:
+        return _cache[key]
+    full = tpch_instance()
+    scores = []
+    for index in full.indexes:
+        total = 0.0
+        for plan_id in full.plans_containing(index.index_id):
+            plan = full.plans[plan_id]
+            weight = full.queries[plan.query_id].weight
+            total += plan.speedup * weight / len(plan.indexes)
+        scores.append((-total, index.index_id))
+    ranked = [index_id for _, index_id in sorted(scores)]
+    keep = sorted(ranked[: min(n_indexes, len(ranked))])
+    restricted = full.restrict_to_indexes(
+        keep, name=f"tpch-{len(keep)}-{density}"
+    )
+    reduced = reduce_density(restricted, density)
+    _cache[key] = reduced
+    return reduced

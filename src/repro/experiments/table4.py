@@ -1,0 +1,91 @@
+"""Table 4: experimental dataset statistics.
+
+Paper values::
+
+    Dataset  |Q|  |I|  |P|   Largest plan  #Inter.(build)  #Inter.(query)
+    TPC-H     22   31   221      5 index         31              80
+    TPC-DS   102  148  3386     13 index        243            1363
+
+The reproduction extracts both instances through its own advisor and
+what-if pipeline, so absolute counts differ; the bench asserts the
+qualitative shape (TPC-DS being roughly an order of magnitude denser
+than TPC-H in plans and query interactions, multi-index plans present
+in both).
+"""
+
+from __future__ import annotations
+
+from repro.core.instance import ProblemInstance
+from repro.experiments.harness import ResultTable
+from repro.experiments.instances import tpcds_instance, tpch_instance
+
+__all__ = ["run", "PAPER_VALUES"]
+
+PAPER_VALUES = {
+    "tpch": {
+        "queries": 22,
+        "indexes": 31,
+        "plans": 221,
+        "largest_plan": 5,
+        "build_interactions": 31,
+        "query_interactions": 80,
+    },
+    "tpcds": {
+        "queries": 102,
+        "indexes": 148,
+        "plans": 3386,
+        "largest_plan": 13,
+        "build_interactions": 243,
+        "query_interactions": 1363,
+    },
+}
+
+
+def run() -> ResultTable:
+    """Regenerate Table 4 (ours vs. paper)."""
+    table = ResultTable(
+        title="Table 4: Experimental Datasets (measured vs. paper)",
+        headers=[
+            "Dataset",
+            "|Q|",
+            "|I|",
+            "|P|",
+            "Largest Plan",
+            "#Inter.(Build)",
+            "#Inter.(Query)",
+        ],
+    )
+    for label, instance in (
+        ("TPC-H", tpch_instance()),
+        ("TPC-DS", tpcds_instance()),
+    ):
+        counts = instance.interaction_counts()
+        table.add_row(
+            label,
+            counts["queries"],
+            counts["indexes"],
+            counts["plans"],
+            f"{counts['largest_plan']} Index",
+            counts["build_interactions"],
+            counts["query_interactions"],
+        )
+    for label, key in (("TPC-H", "tpch"), ("TPC-DS", "tpcds")):
+        paper = PAPER_VALUES[key]
+        table.add_row(
+            f"{label} (paper)",
+            paper["queries"],
+            paper["indexes"],
+            paper["plans"],
+            f"{paper['largest_plan']} Index",
+            paper["build_interactions"],
+            paper["query_interactions"],
+        )
+    table.add_note(
+        "measured rows come from this repo's advisor + what-if extraction; "
+        "the reproducible claim is the TPC-DS/TPC-H density gap, not "
+        "absolute counts"
+    )
+    return table
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,77 @@
+"""Table 7: initial-solution quality (Greedy vs. DP vs. Random).
+
+Paper values (objective, lower is better)::
+
+    Dataset   Greedy   DP     Random(AVG)  Random(MIN)
+    TPC-H      47.9    57.0      65.5         51.5
+    TPC-DS     65.9    70.5      74.1         69.6
+
+The reproducible claim: the interaction-guided greedy (Algorithm 1)
+beats the Schnaitter-style DP (Algorithm 2) — which ignores build
+costs — and both beat random permutations, on both datasets.  Objectives
+are reported on the normalized 0–100 scale (fraction of the worst-case
+rectangle), the same scale family the paper's numbers live on.
+"""
+
+from __future__ import annotations
+
+from repro.core.objective import normalized_objective
+from repro.core.solution import Solution
+from repro.experiments.harness import ResultTable
+from repro.experiments.instances import tpcds_instance, tpch_instance
+from repro.solvers.dp import DPSolver
+from repro.solvers.greedy import GreedySolver
+from repro.solvers.random_search import random_statistics
+
+__all__ = ["run", "PAPER_VALUES"]
+
+PAPER_VALUES = {
+    "TPC-H": {"greedy": 47.9, "dp": 57.0, "random_avg": 65.5, "random_min": 51.5},
+    "TPC-DS": {"greedy": 65.9, "dp": 70.5, "random_avg": 74.1, "random_min": 69.6},
+}
+
+
+def run(samples: int = 100, seed: int = 0) -> ResultTable:
+    """Regenerate Table 7 (normalized objectives, ours vs. paper)."""
+    table = ResultTable(
+        title="Table 7: Initial Solutions (normalized objective, lower is better)",
+        headers=[
+            "Dataset",
+            "Greedy",
+            "DP",
+            "Random (AVG)",
+            "Random (MIN)",
+        ],
+    )
+    for label, instance in (
+        ("TPC-H", tpch_instance()),
+        ("TPC-DS", tpcds_instance()),
+    ):
+        greedy = GreedySolver().solve(instance)
+        dp = DPSolver().solve(instance)
+        average, minimum, _ = random_statistics(
+            instance, samples=samples, seed=seed
+        )
+        table.add_row(
+            label,
+            normalized_objective(instance, greedy.objective),
+            normalized_objective(instance, dp.objective),
+            normalized_objective(instance, average),
+            normalized_objective(instance, minimum),
+        )
+        paper = PAPER_VALUES[label]
+        table.add_row(
+            f"{label} (paper)",
+            paper["greedy"],
+            paper["dp"],
+            paper["random_avg"],
+            paper["random_min"],
+        )
+    table.add_note(
+        "reproducible ordering: Greedy < DP < Random(AVG) and "
+        "Greedy < Random(MIN) on both datasets"
+    )
+    return table
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,187 @@
+"""Common solver infrastructure.
+
+Every solver implements :class:`Solver.solve` and returns a
+:class:`~repro.core.solution.SolveResult`.  :class:`Budget` provides the
+shared time/node accounting, so experiments can hand the same budget
+semantics to CP, MIP, and local search.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Optional, Sequence
+
+from repro.analysis.constraints import ConstraintSet
+from repro.core.instance import ProblemInstance
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.solution import SolveResult
+
+__all__ = ["Budget", "Solver", "SuffixBound", "glue_consecutive", "repair_order"]
+
+
+class Budget:
+    """A wall-clock and node budget for one solver run.
+
+    Args:
+        time_limit: Seconds of wall-clock time, or ``None`` for no limit.
+        node_limit: Maximum search nodes/iterations, or ``None``.
+    """
+
+    def __init__(
+        self,
+        time_limit: Optional[float] = None,
+        node_limit: Optional[int] = None,
+    ) -> None:
+        self.time_limit = time_limit
+        self.node_limit = node_limit
+        self.nodes = 0
+        self._start = time.perf_counter()
+
+    def restart(self) -> None:
+        """Reset the clock and node counter."""
+        self.nodes = 0
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the budget started."""
+        return time.perf_counter() - self._start
+
+    def tick(self, nodes: int = 1) -> None:
+        """Account for ``nodes`` units of work."""
+        self.nodes += nodes
+
+    @property
+    def exhausted(self) -> bool:
+        """True once either limit is hit."""
+        if self.node_limit is not None and self.nodes >= self.node_limit:
+            return True
+        if self.time_limit is not None and self.elapsed >= self.time_limit:
+            return True
+        return False
+
+
+class Solver(abc.ABC):
+    """Base class for deployment-order solvers."""
+
+    #: Short name used in result records and experiment tables.
+    name: str = "solver"
+
+    @abc.abstractmethod
+    def solve(
+        self,
+        instance: ProblemInstance,
+        constraints: Optional[ConstraintSet] = None,
+        budget: Optional[Budget] = None,
+    ) -> SolveResult:
+        """Solve ``instance``, optionally under pre-analysis constraints.
+
+        Implementations must respect the ``budget`` if given, must return
+        feasible orders under ``constraints`` (including consecutive
+        pairs), and should fill the result's anytime ``trace``.
+        """
+
+    def _evaluator(self, instance: ProblemInstance) -> ObjectiveEvaluator:
+        return ObjectiveEvaluator(instance)
+
+
+class SuffixBound:
+    """Admissible lower bound on the objective of any deployment suffix.
+
+    Relaxation: every remaining index ``i`` costs its minimum possible
+    build cost ``minC(i)`` and drops the runtime by its maximum possible
+    marginal speed-up ``S_max(i)`` (the sum over queries of the best
+    plan speed-up involving ``i``).  With fixed per-item costs and drops
+    the staircase area is linear in the drop prefix sums, so the
+    density-descending order (``S_max / minC``) minimizes it — a classic
+    exchange argument — and that minimum lower-bounds the true suffix
+    area for every feasible order.  The simple bound
+    ``R_final * sum minC`` is taken as a floor (max of two admissible
+    bounds is admissible).
+    """
+
+    def __init__(self, instance: ProblemInstance) -> None:
+        self.instance = instance
+        n = instance.n_indexes
+        self.min_cost = [instance.min_build_cost(i) for i in range(n)]
+        self.final_runtime = instance.total_runtime(range(n))
+        s_max = [0.0] * n
+        for query in instance.queries:
+            best_with: dict = {}
+            for plan_id in instance.plans_of_query(query.query_id):
+                plan = instance.plans[plan_id]
+                value = plan.speedup * query.weight
+                for member in plan.indexes:
+                    if value > best_with.get(member, 0.0):
+                        best_with[member] = value
+            for member, value in best_with.items():
+                s_max[member] += value
+        self.s_max = s_max
+        self.density_order = sorted(
+            range(n),
+            key=lambda i: -(s_max[i] / max(self.min_cost[i], 1e-12)),
+        )
+
+    def bound(self, runtime_now: float, built) -> float:
+        """Lower bound given current runtime and the built set."""
+        relaxed = 0.0
+        runtime = runtime_now
+        simple = 0.0
+        for index_id in self.density_order:
+            if index_id in built:
+                continue
+            cost = self.min_cost[index_id]
+            relaxed += runtime * cost
+            simple += self.final_runtime * cost
+            runtime -= self.s_max[index_id]
+        return max(relaxed, simple)
+
+
+def repair_order(
+    order: Sequence[int], constraints: Optional[ConstraintSet]
+) -> list:
+    """Minimally reorder ``order`` into constraint feasibility.
+
+    Moves any index placed before one of its known predecessors to just
+    after that predecessor, repeating until no violation remains (the
+    precedence relation is acyclic, so this terminates), then glues
+    consecutive pairs.  The relative order of unconstrained indexes is
+    preserved.
+    """
+    result = list(order)
+    if constraints is None:
+        return result
+    position = {index_id: pos for pos, index_id in enumerate(result)}
+    changed = True
+    while changed:
+        changed = False
+        for b in range(constraints.n):
+            for a in constraints.predecessors(b):
+                if position[a] > position[b]:
+                    result.remove(b)
+                    result.insert(result.index(a) + 1, b)
+                    position = {ix: pos for pos, ix in enumerate(result)}
+                    changed = True
+    return glue_consecutive(result, constraints)
+
+
+def glue_consecutive(
+    order: Sequence[int], constraints: Optional[ConstraintSet]
+) -> list:
+    """Repair an order so alliance pairs become adjacent.
+
+    Scans the consecutive pairs and moves each ``second`` directly after
+    its ``first`` while preserving the relative order of everything else.
+    Used to make heuristic starting points feasible for constraint-aware
+    search.
+    """
+    result = list(order)
+    if constraints is None:
+        return result
+    for first, second in constraints.consecutive_pairs:
+        if first not in result or second not in result:
+            continue
+        result.remove(second)
+        result.insert(result.index(first) + 1, second)
+    return result

@@ -1,0 +1,32 @@
+"""Constraint-programming solver stack (Section 6 of the paper).
+
+Layers: :class:`DomainStore` (bitmask finite domains with a trail),
+propagators (``alldifferent`` with Hall intervals, precedence bounds,
+alliance channeling), and :class:`CPSearch` branch-and-prune with
+first-fail or sequential branching.  :class:`CPSolver` is the public
+solver facade; LNS/VNS reuse :class:`CPSearch` directly.
+"""
+
+from repro.solvers.cp.domains import Conflict, DomainStore
+from repro.solvers.cp.propagators import (
+    AllDifferent,
+    Consecutive,
+    Precedence,
+    PropagationEngine,
+    Propagator,
+)
+from repro.solvers.cp.search import CPModel, CPSearch, CPSolver, SearchOutcome
+
+__all__ = [
+    "Conflict",
+    "DomainStore",
+    "AllDifferent",
+    "Consecutive",
+    "Precedence",
+    "PropagationEngine",
+    "Propagator",
+    "CPModel",
+    "CPSearch",
+    "CPSolver",
+    "SearchOutcome",
+]

@@ -1,0 +1,153 @@
+"""Schnaitter-style dynamic-programming scheduler (Appendix C, Algorithm 2).
+
+This is the prior-art baseline the paper compares its greedy against
+(Table 7).  It recursively splits the index set with a Stoer–Wagner
+minimum cut over an interaction-weight graph, schedules each side, and
+interleaves the two sub-schedules by marginal benefit.  Its known
+shortcomings — it ignores index build costs and build interactions — are
+exactly what Table 7 demonstrates.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.analysis.constraints import ConstraintSet
+from repro.core.instance import ProblemInstance
+from repro.core.solution import Solution, SolveResult, SolveStatus
+from repro.solvers.base import Budget, Solver, repair_order
+
+__all__ = ["DPSolver", "dp_order", "interaction_weights"]
+
+
+def interaction_weights(
+    instance: ProblemInstance,
+) -> Dict[Tuple[int, int], float]:
+    """Edge weights of the DP clustering graph.
+
+    Per Appendix C: within a plan of speed-up ``s`` over ``k`` indexes,
+    every index pair receives weight ``s / k``; indexes serving the same
+    query through *different* plans receive the minimum of their two
+    plan shares.  Weights accumulate over queries.
+    """
+    weights: Dict[Tuple[int, int], float] = {}
+
+    def bump(a: int, b: int, value: float) -> None:
+        if a == b:
+            return
+        key = (a, b) if a < b else (b, a)
+        weights[key] = weights.get(key, 0.0) + value
+
+    for query in instance.queries:
+        plan_ids = instance.plans_of_query(query.query_id)
+        shares: List[Tuple[Set[int], float]] = []
+        for plan_id in plan_ids:
+            plan = instance.plans[plan_id]
+            share = plan.speedup * query.weight / len(plan.indexes)
+            shares.append((set(plan.indexes), share))
+            members = sorted(plan.indexes)
+            for pos, a in enumerate(members):
+                for b in members[pos + 1 :]:
+                    bump(a, b, share)
+        for pos, (set_a, share_a) in enumerate(shares):
+            for set_b, share_b in shares[pos + 1 :]:
+                cross = min(share_a, share_b)
+                for a in set_a - set_b:
+                    for b in set_b - set_a:
+                        bump(a, b, cross)
+    return weights
+
+
+def _min_cut_split(
+    nodes: Sequence[int], weights: Dict[Tuple[int, int], float]
+) -> Tuple[List[int], List[int]]:
+    """Split ``nodes`` into two clusters via Stoer–Wagner minimum cut."""
+    node_list = sorted(nodes)
+    graph = nx.Graph()
+    graph.add_nodes_from(node_list)
+    node_set = set(node_list)
+    for (a, b), weight in weights.items():
+        if a in node_set and b in node_set and weight > 0:
+            graph.add_edge(a, b, weight=weight)
+    components = [sorted(c) for c in nx.connected_components(graph)]
+    if len(components) > 1:
+        first = components[0]
+        rest = sorted(x for c in components[1:] for x in c)
+        return first, rest
+    _, (side_a, side_b) = nx.stoer_wagner(graph)
+    return sorted(side_a), sorted(side_b)
+
+
+def dp_order(instance: ProblemInstance) -> List[int]:
+    """Run Algorithm 2 and return the resulting order."""
+
+    def recurse(nodes: List[int]) -> List[int]:
+        if len(nodes) <= 1:
+            return list(nodes)
+        side_a, side_b = _min_cut_split(nodes, weights)
+        seq_a = recurse(side_a)
+        seq_b = recurse(side_b)
+        return _interleave(instance, seq_a, seq_b)
+
+    weights = interaction_weights(instance)
+    return recurse(sorted(range(instance.n_indexes)))
+
+
+def _interleave(
+    instance: ProblemInstance, seq_a: List[int], seq_b: List[int]
+) -> List[int]:
+    """Merge two sub-schedules by marginal query benefit (cost-blind)."""
+    merged: List[int] = []
+    built: Set[int] = set()
+    pos_a = pos_b = 0
+    runtime_now = instance.total_runtime(built)
+    while pos_a < len(seq_a) and pos_b < len(seq_b):
+        front_a = seq_a[pos_a]
+        front_b = seq_b[pos_b]
+        benefit_a = runtime_now - instance.total_runtime(built | {front_a})
+        benefit_b = runtime_now - instance.total_runtime(built | {front_b})
+        if benefit_a >= benefit_b:
+            chosen, pos_a = front_a, pos_a + 1
+        else:
+            chosen, pos_b = front_b, pos_b + 1
+        merged.append(chosen)
+        built.add(chosen)
+        runtime_now = instance.total_runtime(built)
+    merged.extend(seq_a[pos_a:])
+    merged.extend(seq_b[pos_b:])
+    return merged
+
+
+class DPSolver(Solver):
+    """Solver wrapper around :func:`dp_order`.
+
+    Constraints are applied post hoc: the DP itself is constraint-blind
+    (faithful to the prior work), but the returned order is repaired into
+    full feasibility (precedences and consecutive pairs) so it can seed
+    constraint-aware local search.
+    """
+
+    name = "dp"
+
+    def solve(
+        self,
+        instance: ProblemInstance,
+        constraints: Optional[ConstraintSet] = None,
+        budget: Optional[Budget] = None,
+    ) -> SolveResult:
+        start = time.perf_counter()
+        order = dp_order(instance)
+        order = repair_order(order, constraints)
+        solution = Solution.from_order(instance, order)
+        elapsed = time.perf_counter() - start
+        return SolveResult(
+            solver=self.name,
+            status=SolveStatus.FEASIBLE,
+            solution=solution,
+            runtime=elapsed,
+            nodes=instance.n_indexes,
+            trace=[(elapsed, solution.objective)],
+        )

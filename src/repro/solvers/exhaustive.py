@@ -1,0 +1,222 @@
+"""Exhaustive depth-first search with branch-and-bound pruning.
+
+Builds the deployment sequence position by position.  A partial prefix
+has an exact objective; the remaining indexes contribute at least
+``R_final * min_build_cost`` each, which gives an admissible lower bound
+for pruning against the incumbent.  With no incumbent pruning this
+degenerates to the factorial search the paper uses as its reference
+point ("runtime of CP without pruning is roughly proportional to |I|!").
+
+Precedence constraints restrict which index may be placed next;
+consecutive (alliance) pairs force the glued successor immediately.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Set
+
+from repro.analysis.constraints import ConstraintSet
+from repro.core.instance import ProblemInstance
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.solution import Solution, SolveResult, SolveStatus
+from repro.solvers.base import Budget, Solver, SuffixBound
+from repro.solvers.greedy import greedy_order
+
+__all__ = ["ExhaustiveSolver"]
+
+
+class ExhaustiveSolver(Solver):
+    """Exact DFS branch-and-bound over index permutations.
+
+    Args:
+        use_bound: Prune with the density-relaxation suffix bound.
+        seed_incumbent: Start from the greedy solution's objective so
+            pruning bites from the first node.
+    """
+
+    name = "exhaustive"
+
+    def __init__(self, use_bound: bool = True, seed_incumbent: bool = True) -> None:
+        self.use_bound = use_bound
+        self.seed_incumbent = seed_incumbent
+
+    def solve(
+        self,
+        instance: ProblemInstance,
+        constraints: Optional[ConstraintSet] = None,
+        budget: Optional[Budget] = None,
+    ) -> SolveResult:
+        start = time.perf_counter()
+        search = _DFSState(instance, constraints, budget, self.use_bound)
+        if self.seed_incumbent:
+            initial = greedy_order(instance, constraints)
+            evaluator = ObjectiveEvaluator(instance)
+            search.best_objective = evaluator.evaluate(initial)
+            search.best_order = list(initial)
+        search.run()
+        elapsed = time.perf_counter() - start
+        if search.best_order is None:
+            status = (
+                SolveStatus.TIMEOUT if search.interrupted else SolveStatus.INFEASIBLE
+            )
+            return SolveResult(
+                solver=self.name,
+                status=status,
+                solution=None,
+                runtime=elapsed,
+                nodes=search.nodes,
+            )
+        status = (
+            SolveStatus.TIMEOUT if search.interrupted else SolveStatus.OPTIMAL
+        )
+        return SolveResult(
+            solver=self.name,
+            status=status,
+            solution=Solution(tuple(search.best_order), search.best_objective),
+            runtime=elapsed,
+            nodes=search.nodes,
+            trace=search.trace,
+        )
+
+
+class _DFSState:
+    """Mutable DFS machinery with incremental objective bookkeeping."""
+
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        constraints: Optional[ConstraintSet],
+        budget: Optional[Budget],
+        use_bound: bool,
+    ) -> None:
+        self.instance = instance
+        self.constraints = constraints
+        self.budget = budget
+        self.use_bound = use_bound
+        self.n = instance.n_indexes
+        evaluator = ObjectiveEvaluator(instance)
+        self._plan_query = evaluator._plan_query
+        self._plan_speedup = evaluator._plan_speedup
+        self._plans_of_index = evaluator._plans_of_index
+        self._helpers = evaluator._helpers
+        self._ctime = evaluator._ctime
+        self._qweight = evaluator._qweight
+        self.final_runtime = instance.total_runtime(range(self.n))
+        self.min_cost = [instance.min_build_cost(i) for i in range(self.n)]
+        self.suffix_bound = SuffixBound(instance)
+        self.built_set: Set[int] = set()
+        self.consecutive_after = {}
+        if constraints is not None:
+            for first, second in constraints.consecutive_pairs:
+                self.consecutive_after[first] = second
+        # Search state.
+        self.missing = [len(p.indexes) for p in instance.plans]
+        self.qbest = [0.0] * instance.n_queries
+        self.built = bytearray(self.n)
+        self.runtime = instance.total_base_runtime
+        self.objective = 0.0
+        self.prefix: List[int] = []
+        self.best_order: Optional[List[int]] = None
+        self.best_objective = float("inf")
+        self.nodes = 0
+        self.interrupted = False
+        self.trace: List[tuple] = []
+        self._start = time.perf_counter()
+        self.remaining_min_cost = sum(self.min_cost)
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        self._dfs()
+
+    def _candidates(self) -> List[int]:
+        if self.prefix:
+            forced = self.consecutive_after.get(self.prefix[-1])
+            if forced is not None and not self.built[forced]:
+                return [forced]
+        out = []
+        for i in range(self.n):
+            if self.built[i]:
+                continue
+            if self.constraints is not None:
+                blocked = False
+                for pred in self.constraints.predecessors(i):
+                    if not self.built[pred]:
+                        blocked = True
+                        break
+                if blocked:
+                    continue
+            out.append(i)
+        return out
+
+    def _dfs(self) -> None:
+        if self.interrupted:
+            return
+        self.nodes += 1
+        if self.budget is not None:
+            self.budget.tick()
+            if self.budget.exhausted:
+                self.interrupted = True
+                return
+        if len(self.prefix) == self.n:
+            if self.objective < self.best_objective:
+                self.best_objective = self.objective
+                self.best_order = list(self.prefix)
+                self.trace.append(
+                    (time.perf_counter() - self._start, self.objective)
+                )
+            return
+        if self.use_bound:
+            bound = self.objective + self.suffix_bound.bound(
+                self.runtime, self.built_set
+            )
+            if bound >= self.best_objective - 1e-12:
+                return
+        for candidate in self._candidates():
+            undo = self._apply(candidate)
+            self._dfs()
+            self._undo(candidate, undo)
+            if self.interrupted:
+                return
+
+    def _apply(self, index_id: int):
+        best_saving = 0.0
+        for helper, saving in self._helpers[index_id]:
+            if self.built[helper] and saving > best_saving:
+                best_saving = saving
+        cost = self._ctime[index_id] - best_saving
+        delta_objective = self.runtime * cost
+        self.objective += delta_objective
+        self.built[index_id] = 1
+        self.built_set.add(index_id)
+        self.prefix.append(index_id)
+        self.remaining_min_cost -= self.min_cost[index_id]
+        runtime_delta = 0.0
+        completed: List[tuple] = []
+        for plan_id in self._plans_of_index[index_id]:
+            self.missing[plan_id] -= 1
+            if self.missing[plan_id] == 0:
+                query_id = self._plan_query[plan_id]
+                speedup = self._plan_speedup[plan_id]
+                if speedup > self.qbest[query_id]:
+                    gain = (speedup - self.qbest[query_id]) * self._qweight[
+                        query_id
+                    ]
+                    runtime_delta += gain
+                    completed.append((query_id, self.qbest[query_id]))
+                    self.qbest[query_id] = speedup
+        self.runtime -= runtime_delta
+        return (delta_objective, runtime_delta, completed)
+
+    def _undo(self, index_id: int, undo) -> None:
+        delta_objective, runtime_delta, completed = undo
+        for query_id, previous in reversed(completed):
+            self.qbest[query_id] = previous
+        self.runtime += runtime_delta
+        for plan_id in self._plans_of_index[index_id]:
+            self.missing[plan_id] += 1
+        self.remaining_min_cost += self.min_cost[index_id]
+        self.prefix.pop()
+        self.built[index_id] = 0
+        self.built_set.discard(index_id)
+        self.objective -= delta_objective

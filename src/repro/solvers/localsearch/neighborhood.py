@@ -1,0 +1,54 @@
+"""Move feasibility helpers shared by the local-search solvers."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.constraints import ConstraintSet
+
+__all__ = ["swap_feasible", "apply_swap"]
+
+
+def swap_feasible(
+    order: Sequence[int],
+    pos_a: int,
+    pos_b: int,
+    constraints: Optional[ConstraintSet],
+) -> bool:
+    """Check whether swapping two positions keeps the order feasible.
+
+    Swapping elements ``x = order[pos_a]`` and ``y = order[pos_b]``
+    (``pos_a < pos_b``) violates a precedence exactly when ``x`` must
+    precede, or ``y`` must succeed, any element in the closed window
+    ``[pos_a, pos_b]``.  Consecutive (alliance) pairs must additionally
+    stay adjacent.
+    """
+    if constraints is None:
+        return True
+    if pos_a > pos_b:
+        pos_a, pos_b = pos_b, pos_a
+    if pos_a == pos_b:
+        return True
+    x = order[pos_a]
+    y = order[pos_b]
+    for position in range(pos_a + 1, pos_b + 1):
+        if constraints.is_before(x, order[position]):
+            return False
+    for position in range(pos_a, pos_b):
+        if constraints.is_before(order[position], y):
+            return False
+    if constraints.consecutive_pairs:
+        swapped = list(order)
+        swapped[pos_a], swapped[pos_b] = swapped[pos_b], swapped[pos_a]
+        position_of = {ix: pos for pos, ix in enumerate(swapped)}
+        for first, second in constraints.consecutive_pairs:
+            if position_of[second] != position_of[first] + 1:
+                return False
+    return True
+
+
+def apply_swap(order: Sequence[int], pos_a: int, pos_b: int) -> List[int]:
+    """Return a copy of ``order`` with two positions exchanged."""
+    swapped = list(order)
+    swapped[pos_a], swapped[pos_b] = swapped[pos_b], swapped[pos_a]
+    return swapped

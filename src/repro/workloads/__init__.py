@@ -1,0 +1,22 @@
+"""Workloads: TPC-H, TPC-DS style, and synthetic instance generation."""
+
+from repro.workloads.extracted import (
+    build_instance,
+    build_tpcds_instance,
+    build_tpch_instance,
+)
+from repro.workloads.generator import GeneratorConfig, generate_instance
+from repro.workloads.tpcds import tpcds_catalog, tpcds_workload
+from repro.workloads.tpch import tpch_catalog, tpch_workload
+
+__all__ = [
+    "build_instance",
+    "build_tpch_instance",
+    "build_tpcds_instance",
+    "GeneratorConfig",
+    "generate_instance",
+    "tpch_catalog",
+    "tpch_workload",
+    "tpcds_catalog",
+    "tpcds_workload",
+]

@@ -1,0 +1,142 @@
+"""Synthetic ordering-problem instance generator.
+
+Generates :class:`~repro.core.ProblemInstance` objects directly (no
+DBMS extraction) with controllable size and interaction density — used
+by property-based tests and by scalability sweeps that need instance
+families larger or denser than the benchmark workloads provide.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.instance import (
+    BuildInteraction,
+    IndexDef,
+    PlanDef,
+    PrecedenceRule,
+    ProblemInstance,
+    QueryDef,
+)
+from repro.errors import ValidationError
+
+__all__ = ["GeneratorConfig", "generate_instance"]
+
+
+@dataclass
+class GeneratorConfig:
+    """Shape knobs for synthetic instances.
+
+    Attributes:
+        n_indexes: Permutation length.
+        n_queries: Workload size.
+        plans_per_query: Mean number of plans per query.
+        max_plan_size: Largest index set a plan may use.
+        multi_index_fraction: Fraction of plans using >= 2 indexes
+            (query-interaction density).
+        build_interaction_rate: Expected build interactions per index.
+        cost_range: Index creation-cost range.
+        runtime_range: Query base-runtime range.
+        precedence_rate: Expected hard precedence rules per 10 indexes.
+    """
+
+    n_indexes: int = 20
+    n_queries: int = 12
+    plans_per_query: float = 3.0
+    max_plan_size: int = 4
+    multi_index_fraction: float = 0.5
+    build_interaction_rate: float = 1.0
+    cost_range: tuple = (5.0, 120.0)
+    runtime_range: tuple = (50.0, 400.0)
+    precedence_rate: float = 0.0
+
+
+def generate_instance(
+    seed: int, config: Optional[GeneratorConfig] = None, name: Optional[str] = None
+) -> ProblemInstance:
+    """Generate a random, valid instance (deterministic per seed)."""
+    config = config or GeneratorConfig()
+    if config.n_indexes < 1 or config.n_queries < 1:
+        raise ValidationError("need at least one index and one query")
+    rng = random.Random(seed)
+    indexes = [
+        IndexDef(
+            index_id=i,
+            name=f"ix{i:03d}",
+            create_cost=rng.uniform(*config.cost_range),
+            size=rng.uniform(1.0, 100.0),
+        )
+        for i in range(config.n_indexes)
+    ]
+    queries = [
+        QueryDef(
+            query_id=q,
+            name=f"q{q:03d}",
+            base_runtime=rng.uniform(*config.runtime_range),
+            weight=rng.choice([0.5, 1.0, 1.0, 2.0]),
+        )
+        for q in range(config.n_queries)
+    ]
+    plans: List[PlanDef] = []
+    for query in queries:
+        count = max(1, int(rng.gauss(config.plans_per_query, 1.0)))
+        remaining_budget = query.base_runtime * 0.9
+        best_so_far = 0.0
+        for _ in range(count):
+            if rng.random() < config.multi_index_fraction:
+                size = rng.randint(2, max(2, config.max_plan_size))
+            else:
+                size = 1
+            size = min(size, config.n_indexes)
+            members = frozenset(rng.sample(range(config.n_indexes), size))
+            speedup = rng.uniform(0.05, 1.0) * remaining_budget
+            if speedup <= 0:
+                continue
+            plans.append(
+                PlanDef(len(plans), query.query_id, members, speedup)
+            )
+            best_so_far = max(best_so_far, speedup)
+        if not plans or plans[-1].query_id != query.query_id:
+            members = frozenset([rng.randrange(config.n_indexes)])
+            plans.append(
+                PlanDef(
+                    len(plans),
+                    query.query_id,
+                    members,
+                    rng.uniform(0.05, 0.5) * remaining_budget,
+                )
+            )
+    interactions: List[BuildInteraction] = []
+    seen_pairs = set()
+    target_count = int(config.build_interaction_rate * config.n_indexes)
+    attempts = 0
+    while len(interactions) < target_count and attempts < target_count * 10:
+        attempts += 1
+        if config.n_indexes < 2:
+            break
+        target, helper = rng.sample(range(config.n_indexes), 2)
+        if (target, helper) in seen_pairs:
+            continue
+        seen_pairs.add((target, helper))
+        saving = rng.uniform(0.05, 0.8) * indexes[target].create_cost
+        interactions.append(BuildInteraction(target, helper, saving))
+    precedences: List[PrecedenceRule] = []
+    target_rules = int(config.precedence_rate * config.n_indexes / 10)
+    for _ in range(target_rules):
+        if config.n_indexes < 2:
+            break
+        a, b = rng.sample(range(config.n_indexes), 2)
+        before, after = (a, b) if a < b else (b, a)
+        rule = PrecedenceRule(before, after, reason="synthetic")
+        if (before, after) not in {(r.before, r.after) for r in precedences}:
+            precedences.append(rule)
+    return ProblemInstance(
+        indexes,
+        queries,
+        plans,
+        interactions,
+        precedences,
+        name=name or f"synthetic-{seed}",
+    )

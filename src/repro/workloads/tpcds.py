@@ -1,0 +1,601 @@
+"""TPC-DS style schema and a 102-query analytic workload.
+
+The schema covers the benchmark's central star constellations — three
+sales channels with their returns, inventory, and the shared dimension
+tables — at official SF-1 cardinalities (scaled by ``scale``).
+
+The 102 queries are *structural equivalents* generated from the join
+templates that drive the official query set (channel star joins,
+demographic and geographic drill-downs, returns analysis, inventory
+positioning, promotion effectiveness, and cross-channel comparisons),
+with predicates and group-bys drawn deterministically from a seeded RNG.
+DESIGN.md documents this substitution: the ordering problem consumes the
+workload only through the extracted plan/interaction matrix, whose
+structure these templates reproduce (large multi-index plans, shared
+dimension indexes across many queries, and dense build interactions on
+the wide fact tables).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dbms.catalog import Catalog
+from repro.dbms.query import JoinEdge, Predicate, PredicateOp, Query, Workload
+from repro.dbms.schema import Column, Table
+
+__all__ = ["tpcds_catalog", "tpcds_workload", "FACT_TABLES"]
+
+FACT_TABLES = (
+    "store_sales",
+    "catalog_sales",
+    "web_sales",
+    "store_returns",
+    "catalog_returns",
+    "web_returns",
+    "inventory",
+)
+
+
+def tpcds_catalog(scale: float = 1.0) -> Catalog:
+    """Build the TPC-DS catalog at scale factor ``scale``."""
+
+    def rows(base: int) -> int:
+        return max(1, int(base * scale))
+
+    catalog = Catalog()
+
+    catalog.add_table(
+        Table(
+            "date_dim",
+            [
+                Column("d_date_sk", 4, 73_049),
+                Column("d_date", 4, 73_049),
+                Column("d_year", 4, 200),
+                Column("d_moy", 4, 12),
+                Column("d_qoy", 4, 4),
+                Column("d_dow", 4, 7),
+                Column("d_month_seq", 4, 2_400),
+            ],
+            row_count=73_049,
+        )
+    )
+    catalog.add_table(
+        Table(
+            "item",
+            [
+                Column("i_item_sk", 4, rows(18_000)),
+                Column("i_item_id", 16, rows(9_000)),
+                Column("i_category", 16, 10),
+                Column("i_class", 16, 100),
+                Column("i_brand", 24, 700),
+                Column("i_manufact_id", 4, 1_000),
+                Column("i_color", 12, 92),
+                Column("i_size", 8, 7),
+                Column("i_current_price", 8, 100),
+            ],
+            row_count=rows(18_000),
+        )
+    )
+    catalog.add_table(
+        Table(
+            "customer",
+            [
+                Column("c_customer_sk", 4, rows(100_000)),
+                Column("c_customer_id", 16, rows(100_000)),
+                Column("c_current_addr_sk", 4, rows(50_000)),
+                Column("c_current_cdemo_sk", 4, rows(100_000)),
+                Column("c_current_hdemo_sk", 4, 7_200),
+                Column("c_birth_country", 16, 200),
+                Column("c_birth_year", 4, 70),
+            ],
+            row_count=rows(100_000),
+        )
+    )
+    catalog.add_table(
+        Table(
+            "customer_address",
+            [
+                Column("ca_address_sk", 4, rows(50_000)),
+                Column("ca_state", 2, 51),
+                Column("ca_county", 24, 1_850),
+                Column("ca_city", 24, 600),
+                Column("ca_zip", 8, 8_000),
+                Column("ca_gmt_offset", 4, 6),
+            ],
+            row_count=rows(50_000),
+        )
+    )
+    catalog.add_table(
+        Table(
+            "customer_demographics",
+            [
+                Column("cd_demo_sk", 4, rows(1_920_800)),
+                Column("cd_gender", 1, 2),
+                Column("cd_marital_status", 1, 5),
+                Column("cd_education_status", 16, 7),
+                Column("cd_purchase_estimate", 4, 20),
+                Column("cd_credit_rating", 12, 4),
+            ],
+            row_count=rows(1_920_800),
+        )
+    )
+    catalog.add_table(
+        Table(
+            "household_demographics",
+            [
+                Column("hd_demo_sk", 4, 7_200),
+                Column("hd_income_band_sk", 4, 20),
+                Column("hd_buy_potential", 12, 6),
+                Column("hd_dep_count", 4, 10),
+                Column("hd_vehicle_count", 4, 6),
+            ],
+            row_count=7_200,
+        )
+    )
+    catalog.add_table(
+        Table(
+            "store",
+            [
+                Column("s_store_sk", 4, rows(102)),
+                Column("s_store_id", 16, rows(51)),
+                Column("s_state", 2, 9),
+                Column("s_county", 24, 9),
+                Column("s_city", 24, 18),
+                Column("s_number_employees", 4, 100),
+            ],
+            row_count=rows(102),
+        )
+    )
+    catalog.add_table(
+        Table(
+            "warehouse",
+            [
+                Column("w_warehouse_sk", 4, 5),
+                Column("w_warehouse_sq_ft", 4, 5),
+                Column("w_state", 2, 5),
+            ],
+            row_count=5,
+        )
+    )
+    catalog.add_table(
+        Table(
+            "promotion",
+            [
+                Column("p_promo_sk", 4, rows(300)),
+                Column("p_channel_dmail", 1, 2),
+                Column("p_channel_email", 1, 2),
+                Column("p_channel_tv", 1, 2),
+            ],
+            row_count=rows(300),
+        )
+    )
+    catalog.add_table(
+        Table(
+            "ship_mode",
+            [
+                Column("sm_ship_mode_sk", 4, 20),
+                Column("sm_type", 16, 6),
+                Column("sm_carrier", 16, 20),
+            ],
+            row_count=20,
+        )
+    )
+    catalog.add_table(
+        Table(
+            "web_site",
+            [
+                Column("web_site_sk", 4, 24),
+                Column("web_class", 16, 6),
+            ],
+            row_count=24,
+        )
+    )
+    catalog.add_table(
+        Table(
+            "call_center",
+            [
+                Column("cc_call_center_sk", 4, 6),
+                Column("cc_class", 12, 3),
+            ],
+            row_count=6,
+        )
+    )
+
+    catalog.add_table(
+        Table(
+            "store_sales",
+            [
+                Column("ss_sold_date_sk", 4, 1_800),
+                Column("ss_item_sk", 4, rows(18_000)),
+                Column("ss_customer_sk", 4, rows(100_000)),
+                Column("ss_cdemo_sk", 4, rows(1_920_800)),
+                Column("ss_hdemo_sk", 4, 7_200),
+                Column("ss_addr_sk", 4, rows(50_000)),
+                Column("ss_store_sk", 4, rows(102)),
+                Column("ss_promo_sk", 4, rows(300)),
+                Column("ss_quantity", 4, 100),
+                Column("ss_sales_price", 8, 20_000),
+                Column("ss_ext_sales_price", 8, 100_000),
+                Column("ss_net_profit", 8, 200_000),
+                Column("ss_net_paid", 8, 150_000),
+            ],
+            row_count=rows(2_880_000),
+        )
+    )
+    catalog.add_table(
+        Table(
+            "catalog_sales",
+            [
+                Column("cs_sold_date_sk", 4, 1_800),
+                Column("cs_item_sk", 4, rows(18_000)),
+                Column("cs_bill_customer_sk", 4, rows(100_000)),
+                Column("cs_bill_cdemo_sk", 4, rows(1_920_800)),
+                Column("cs_call_center_sk", 4, 6),
+                Column("cs_ship_mode_sk", 4, 20),
+                Column("cs_warehouse_sk", 4, 5),
+                Column("cs_promo_sk", 4, rows(300)),
+                Column("cs_quantity", 4, 100),
+                Column("cs_sales_price", 8, 20_000),
+                Column("cs_ext_sales_price", 8, 100_000),
+                Column("cs_net_profit", 8, 200_000),
+            ],
+            row_count=rows(1_440_000),
+        )
+    )
+    catalog.add_table(
+        Table(
+            "web_sales",
+            [
+                Column("ws_sold_date_sk", 4, 1_800),
+                Column("ws_item_sk", 4, rows(18_000)),
+                Column("ws_bill_customer_sk", 4, rows(100_000)),
+                Column("ws_bill_addr_sk", 4, rows(50_000)),
+                Column("ws_web_site_sk", 4, 24),
+                Column("ws_ship_mode_sk", 4, 20),
+                Column("ws_warehouse_sk", 4, 5),
+                Column("ws_promo_sk", 4, rows(300)),
+                Column("ws_quantity", 4, 100),
+                Column("ws_sales_price", 8, 20_000),
+                Column("ws_ext_sales_price", 8, 100_000),
+                Column("ws_net_profit", 8, 200_000),
+            ],
+            row_count=rows(720_000),
+        )
+    )
+    catalog.add_table(
+        Table(
+            "store_returns",
+            [
+                Column("sr_returned_date_sk", 4, 1_800),
+                Column("sr_item_sk", 4, rows(18_000)),
+                Column("sr_customer_sk", 4, rows(100_000)),
+                Column("sr_store_sk", 4, rows(102)),
+                Column("sr_reason_sk", 4, 35),
+                Column("sr_return_quantity", 4, 100),
+                Column("sr_return_amt", 8, 50_000),
+                Column("sr_net_loss", 8, 50_000),
+            ],
+            row_count=rows(288_000),
+        )
+    )
+    catalog.add_table(
+        Table(
+            "catalog_returns",
+            [
+                Column("cr_returned_date_sk", 4, 1_800),
+                Column("cr_item_sk", 4, rows(18_000)),
+                Column("cr_returning_customer_sk", 4, rows(100_000)),
+                Column("cr_call_center_sk", 4, 6),
+                Column("cr_reason_sk", 4, 35),
+                Column("cr_return_quantity", 4, 100),
+                Column("cr_return_amount", 8, 50_000),
+            ],
+            row_count=rows(144_000),
+        )
+    )
+    catalog.add_table(
+        Table(
+            "web_returns",
+            [
+                Column("wr_returned_date_sk", 4, 1_800),
+                Column("wr_item_sk", 4, rows(18_000)),
+                Column("wr_returning_customer_sk", 4, rows(100_000)),
+                Column("wr_web_page_sk", 4, 60),
+                Column("wr_reason_sk", 4, 35),
+                Column("wr_return_quantity", 4, 100),
+                Column("wr_return_amt", 8, 50_000),
+            ],
+            row_count=rows(72_000),
+        )
+    )
+    catalog.add_table(
+        Table(
+            "inventory",
+            [
+                Column("inv_date_sk", 4, 261),
+                Column("inv_item_sk", 4, rows(18_000)),
+                Column("inv_warehouse_sk", 4, 5),
+                Column("inv_quantity_on_hand", 4, 1_000),
+            ],
+            row_count=rows(11_745_000),
+        )
+    )
+    return catalog
+
+
+# ----------------------------------------------------------------------
+# Template machinery for the 102-query workload
+# ----------------------------------------------------------------------
+
+_FACT_JOINS: Dict[str, Dict[str, Tuple[str, str, str]]] = {
+    # fact -> dim role -> (fact column, dim table, dim column)
+    "store_sales": {
+        "date": ("ss_sold_date_sk", "date_dim", "d_date_sk"),
+        "item": ("ss_item_sk", "item", "i_item_sk"),
+        "customer": ("ss_customer_sk", "customer", "c_customer_sk"),
+        "cdemo": ("ss_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+        "hdemo": ("ss_hdemo_sk", "household_demographics", "hd_demo_sk"),
+        "address": ("ss_addr_sk", "customer_address", "ca_address_sk"),
+        "store": ("ss_store_sk", "store", "s_store_sk"),
+        "promo": ("ss_promo_sk", "promotion", "p_promo_sk"),
+    },
+    "catalog_sales": {
+        "date": ("cs_sold_date_sk", "date_dim", "d_date_sk"),
+        "item": ("cs_item_sk", "item", "i_item_sk"),
+        "customer": ("cs_bill_customer_sk", "customer", "c_customer_sk"),
+        "cdemo": ("cs_bill_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+        "callcenter": ("cs_call_center_sk", "call_center", "cc_call_center_sk"),
+        "shipmode": ("cs_ship_mode_sk", "ship_mode", "sm_ship_mode_sk"),
+        "warehouse": ("cs_warehouse_sk", "warehouse", "w_warehouse_sk"),
+        "promo": ("cs_promo_sk", "promotion", "p_promo_sk"),
+    },
+    "web_sales": {
+        "date": ("ws_sold_date_sk", "date_dim", "d_date_sk"),
+        "item": ("ws_item_sk", "item", "i_item_sk"),
+        "customer": ("ws_bill_customer_sk", "customer", "c_customer_sk"),
+        "address": ("ws_bill_addr_sk", "customer_address", "ca_address_sk"),
+        "website": ("ws_web_site_sk", "web_site", "web_site_sk"),
+        "shipmode": ("ws_ship_mode_sk", "ship_mode", "sm_ship_mode_sk"),
+        "warehouse": ("ws_warehouse_sk", "warehouse", "w_warehouse_sk"),
+        "promo": ("ws_promo_sk", "promotion", "p_promo_sk"),
+    },
+    "store_returns": {
+        "date": ("sr_returned_date_sk", "date_dim", "d_date_sk"),
+        "item": ("sr_item_sk", "item", "i_item_sk"),
+        "customer": ("sr_customer_sk", "customer", "c_customer_sk"),
+        "store": ("sr_store_sk", "store", "s_store_sk"),
+    },
+    "catalog_returns": {
+        "date": ("cr_returned_date_sk", "date_dim", "d_date_sk"),
+        "item": ("cr_item_sk", "item", "i_item_sk"),
+        "customer": ("cr_returning_customer_sk", "customer", "c_customer_sk"),
+        "callcenter": ("cr_call_center_sk", "call_center", "cc_call_center_sk"),
+    },
+    "web_returns": {
+        "date": ("wr_returned_date_sk", "date_dim", "d_date_sk"),
+        "item": ("wr_item_sk", "item", "i_item_sk"),
+        "customer": ("wr_returning_customer_sk", "customer", "c_customer_sk"),
+    },
+    "inventory": {
+        "date": ("inv_date_sk", "date_dim", "d_date_sk"),
+        "item": ("inv_item_sk", "item", "i_item_sk"),
+        "warehouse": ("inv_warehouse_sk", "warehouse", "w_warehouse_sk"),
+    },
+}
+
+_DIM_PREDICATES: Dict[str, List[Tuple[str, str, Optional[float]]]] = {
+    # dim table -> candidate predicates (column, op, selectivity override)
+    "date_dim": [
+        ("d_year", "eq", None),
+        ("d_moy", "eq", None),
+        ("d_qoy", "eq", None),
+        ("d_month_seq", "range", 0.05),
+    ],
+    "item": [
+        ("i_category", "eq", None),
+        ("i_class", "eq", None),
+        ("i_brand", "in", None),
+        ("i_manufact_id", "eq", None),
+        ("i_color", "in", None),
+        ("i_current_price", "range", 0.2),
+    ],
+    "customer_address": [
+        ("ca_state", "in", None),
+        ("ca_county", "in", None),
+        ("ca_gmt_offset", "eq", None),
+    ],
+    "customer_demographics": [
+        ("cd_gender", "eq", None),
+        ("cd_marital_status", "eq", None),
+        ("cd_education_status", "eq", None),
+    ],
+    "household_demographics": [
+        ("hd_buy_potential", "eq", None),
+        ("hd_dep_count", "eq", None),
+        ("hd_income_band_sk", "range", 0.25),
+    ],
+    "store": [("s_state", "in", None), ("s_county", "eq", None)],
+    "promotion": [("p_channel_dmail", "eq", None), ("p_channel_email", "eq", None)],
+    "ship_mode": [("sm_type", "eq", None)],
+    "web_site": [("web_class", "eq", None)],
+    "call_center": [("cc_class", "eq", None)],
+    "warehouse": [("w_state", "eq", None)],
+    "customer": [("c_birth_year", "range", 0.15), ("c_birth_country", "in", None)],
+}
+
+_GROUP_COLUMNS: Dict[str, List[str]] = {
+    "item": ["i_category", "i_class", "i_brand"],
+    "date_dim": ["d_year", "d_moy"],
+    "store": ["s_state", "s_store_id"],
+    "customer_address": ["ca_state", "ca_city"],
+    "customer": ["c_customer_id"],
+    "customer_demographics": ["cd_gender", "cd_marital_status"],
+    "household_demographics": ["hd_buy_potential"],
+    "warehouse": ["w_state"],
+    "web_site": ["web_class"],
+    "ship_mode": ["sm_type"],
+    "call_center": ["cc_class"],
+    "promotion": ["p_channel_dmail"],
+}
+
+_FACT_MEASURES: Dict[str, List[str]] = {
+    "store_sales": ["ss_quantity", "ss_ext_sales_price", "ss_net_profit"],
+    "catalog_sales": ["cs_quantity", "cs_ext_sales_price", "cs_net_profit"],
+    "web_sales": ["ws_quantity", "ws_ext_sales_price", "ws_net_profit"],
+    "store_returns": ["sr_return_quantity", "sr_return_amt", "sr_net_loss"],
+    "catalog_returns": ["cr_return_quantity", "cr_return_amount"],
+    "web_returns": ["wr_return_quantity", "wr_return_amt"],
+    "inventory": ["inv_quantity_on_hand"],
+}
+
+#: Which dimension roles each template draws from, per fact kind.
+_TEMPLATES: List[Tuple[str, Tuple[str, ...], Tuple[str, ...]]] = [
+    # (template name, facts eligible, dim roles)
+    ("channel_star", ("store_sales", "catalog_sales", "web_sales"),
+     ("date", "item", "store", "website", "callcenter")),
+    ("demographic", ("store_sales", "catalog_sales"),
+     ("date", "cdemo", "hdemo", "item")),
+    ("geographic", ("store_sales", "web_sales"),
+     ("date", "customer", "address")),
+    ("returns", ("store_returns", "catalog_returns", "web_returns"),
+     ("date", "item", "customer")),
+    ("inventory_position", ("inventory",), ("date", "item", "warehouse")),
+    ("promotion_effect", ("store_sales", "catalog_sales", "web_sales"),
+     ("date", "item", "promo")),
+    ("fulfilment", ("catalog_sales", "web_sales"),
+     ("date", "shipmode", "warehouse", "item")),
+]
+
+#: Roles shared by the sales channels in cross-channel comparisons.
+_CROSS_CHANNEL_ROLES = ("date", "item", "customer", "promo")
+_SALES_FACTS = ("store_sales", "catalog_sales", "web_sales")
+
+
+def _make_predicate(
+    table: str, column: str, op: str, selectivity: Optional[float], rng: random.Random
+) -> Predicate:
+    if op == "eq":
+        return Predicate(table, column, PredicateOp.EQ, selectivity)
+    if op == "in":
+        return Predicate(
+            table, column, PredicateOp.IN, selectivity, values=rng.randint(2, 6)
+        )
+    return Predicate(
+        table,
+        column,
+        PredicateOp.RANGE,
+        selectivity if selectivity is not None else rng.choice([0.1, 0.2, 0.3]),
+    )
+
+
+def _cross_channel_query(name: str, rng: random.Random) -> Query:
+    """Two sales channels joined through shared dimensions (wide plans)."""
+    fact_a, fact_b = rng.sample(list(_SALES_FACTS), 2)
+    tables = [fact_a, fact_b]
+    joins: List[JoinEdge] = []
+    predicates: List[Predicate] = []
+    group_by: List[Tuple[str, str]] = []
+    roles = [
+        role
+        for role in _CROSS_CHANNEL_ROLES
+        if role in _FACT_JOINS[fact_a] and role in _FACT_JOINS[fact_b]
+    ]
+    chosen = roles[: rng.randint(2, len(roles))]
+    if "date" not in chosen and "date" in roles:
+        chosen[0] = "date"
+    for role in chosen:
+        column_a, dim_table, dim_column = _FACT_JOINS[fact_a][role]
+        column_b = _FACT_JOINS[fact_b][role][0]
+        tables.append(dim_table)
+        joins.append(JoinEdge(fact_a, column_a, dim_table, dim_column))
+        joins.append(JoinEdge(fact_b, column_b, dim_table, dim_column))
+        options = _DIM_PREDICATES.get(dim_table, [])
+        if options:
+            column, op, sel = options[rng.randrange(len(options))]
+            predicates.append(_make_predicate(dim_table, column, op, sel, rng))
+        for column in _GROUP_COLUMNS.get(dim_table, [])[:1]:
+            group_by.append((dim_table, column))
+    select = [
+        (fact_a, _FACT_MEASURES[fact_a][0]),
+        (fact_b, _FACT_MEASURES[fact_b][0]),
+    ]
+    return Query(
+        name,
+        tables=tables,
+        predicates=predicates,
+        joins=joins,
+        group_by=group_by[:2],
+        select=select,
+        weight=rng.choice([0.5, 1.0, 1.0]),
+    )
+
+
+def _template_query(name: str, rng: random.Random) -> Query:
+    if rng.random() < 0.18:
+        return _cross_channel_query(name, rng)
+    template_name, facts, roles = _TEMPLATES[rng.randrange(len(_TEMPLATES))]
+    fact = rng.choice(list(facts))
+    fact_joins = _FACT_JOINS[fact]
+    usable_roles = [role for role in roles if role in fact_joins]
+    n_dims = rng.randint(2, min(5, len(usable_roles)))
+    chosen_roles = rng.sample(usable_roles, n_dims)
+    if "date" in fact_joins and "date" not in chosen_roles:
+        chosen_roles[0] = "date"  # analytic queries are date-bounded
+    tables = [fact]
+    joins: List[JoinEdge] = []
+    predicates: List[Predicate] = []
+    group_by: List[Tuple[str, str]] = []
+    for role in chosen_roles:
+        fact_column, dim_table, dim_column = fact_joins[role]
+        if dim_table in tables:
+            continue
+        tables.append(dim_table)
+        joins.append(JoinEdge(fact, fact_column, dim_table, dim_column))
+        options = _DIM_PREDICATES.get(dim_table, [])
+        if options:
+            for column, op, sel in rng.sample(
+                options, rng.randint(1, min(2, len(options)))
+            ):
+                predicates.append(
+                    _make_predicate(dim_table, column, op, sel, rng)
+                )
+    group_candidates = [
+        (table, column)
+        for table in tables[1:]
+        for column in _GROUP_COLUMNS.get(table, [])
+    ]
+    if group_candidates:
+        for pair in rng.sample(
+            group_candidates, rng.randint(1, min(2, len(group_candidates)))
+        ):
+            group_by.append(pair)
+    measures = _FACT_MEASURES[fact]
+    select = [
+        (fact, column)
+        for column in rng.sample(measures, rng.randint(1, min(2, len(measures))))
+    ]
+    return Query(
+        name,
+        tables=tables,
+        predicates=predicates,
+        joins=joins,
+        group_by=group_by,
+        select=select,
+        weight=rng.choice([0.5, 1.0, 1.0, 1.0, 2.0]),
+    )
+
+
+def tpcds_workload(n_queries: int = 102, seed: int = 2012) -> Workload:
+    """Generate the TPC-DS style workload.
+
+    Deterministic for a given ``(n_queries, seed)``; the default matches
+    the paper's 102-query setting.
+    """
+    rng = random.Random(seed)
+    queries = [
+        _template_query(f"tpcds_q{number:03d}", rng)
+        for number in range(1, n_queries + 1)
+    ]
+    return Workload("tpcds", queries)

@@ -1,0 +1,585 @@
+"""TPC-H schema and the 22 benchmark queries in structural form.
+
+The schema carries the official SF-1 cardinalities (scaled by the
+``scale`` argument) and per-column distinct counts.  Queries are encoded
+through the :mod:`repro.dbms.query` builder API rather than SQL text:
+what the extraction pipeline needs is which columns each query filters,
+joins, groups, and reads — and those follow the official query set.
+Selectivity overrides reproduce the benchmark predicates' intent (e.g.
+Q6's one-year ship-date window).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dbms.catalog import Catalog
+from repro.dbms.query import JoinEdge, Predicate, PredicateOp, Query, Workload
+from repro.dbms.schema import Column, Table
+
+__all__ = ["tpch_catalog", "tpch_workload", "TPCH_TABLES"]
+
+TPCH_TABLES = (
+    "region",
+    "nation",
+    "supplier",
+    "customer",
+    "part",
+    "partsupp",
+    "orders",
+    "lineitem",
+)
+
+
+def tpch_catalog(scale: float = 1.0) -> Catalog:
+    """Build the TPC-H catalog at scale factor ``scale``."""
+
+    def rows(base: int) -> int:
+        return max(1, int(base * scale))
+
+    catalog = Catalog()
+    catalog.add_table(
+        Table(
+            "region",
+            [
+                Column("r_regionkey", 4, 5),
+                Column("r_name", 16, 5),
+                Column("r_comment", 80, 5),
+            ],
+            row_count=5,
+        )
+    )
+    catalog.add_table(
+        Table(
+            "nation",
+            [
+                Column("n_nationkey", 4, 25),
+                Column("n_name", 16, 25),
+                Column("n_regionkey", 4, 5),
+                Column("n_comment", 80, 25),
+            ],
+            row_count=25,
+        )
+    )
+    catalog.add_table(
+        Table(
+            "supplier",
+            [
+                Column("s_suppkey", 4, rows(10_000)),
+                Column("s_name", 24, rows(10_000)),
+                Column("s_address", 32, rows(10_000)),
+                Column("s_nationkey", 4, 25),
+                Column("s_phone", 16, rows(10_000)),
+                Column("s_acctbal", 8, rows(9_000)),
+                Column("s_comment", 64, rows(10_000)),
+            ],
+            row_count=rows(10_000),
+        )
+    )
+    catalog.add_table(
+        Table(
+            "customer",
+            [
+                Column("c_custkey", 4, rows(150_000)),
+                Column("c_name", 24, rows(150_000)),
+                Column("c_address", 32, rows(150_000)),
+                Column("c_nationkey", 4, 25),
+                Column("c_phone", 16, rows(150_000)),
+                Column("c_acctbal", 8, rows(140_000)),
+                Column("c_mktsegment", 12, 5),
+                Column("c_comment", 72, rows(150_000)),
+            ],
+            row_count=rows(150_000),
+        )
+    )
+    catalog.add_table(
+        Table(
+            "part",
+            [
+                Column("p_partkey", 4, rows(200_000)),
+                Column("p_name", 36, rows(200_000)),
+                Column("p_mfgr", 16, 5),
+                Column("p_brand", 12, 25),
+                Column("p_type", 24, 150),
+                Column("p_size", 4, 50),
+                Column("p_container", 12, 40),
+                Column("p_retailprice", 8, rows(100_000)),
+                Column("p_comment", 20, rows(130_000)),
+            ],
+            row_count=rows(200_000),
+        )
+    )
+    catalog.add_table(
+        Table(
+            "partsupp",
+            [
+                Column("ps_partkey", 4, rows(200_000)),
+                Column("ps_suppkey", 4, rows(10_000)),
+                Column("ps_availqty", 4, 10_000),
+                Column("ps_supplycost", 8, rows(100_000)),
+                Column("ps_comment", 120, rows(700_000)),
+            ],
+            row_count=rows(800_000),
+        )
+    )
+    catalog.add_table(
+        Table(
+            "orders",
+            [
+                Column("o_orderkey", 4, rows(1_500_000)),
+                Column("o_custkey", 4, rows(100_000)),
+                Column("o_orderstatus", 1, 3),
+                Column("o_totalprice", 8, rows(1_400_000)),
+                Column("o_orderdate", 4, 2_400),
+                Column("o_orderpriority", 12, 5),
+                Column("o_clerk", 16, rows(1_000)),
+                Column("o_shippriority", 4, 1),
+                Column("o_comment", 48, rows(1_400_000)),
+            ],
+            row_count=rows(1_500_000),
+        )
+    )
+    catalog.add_table(
+        Table(
+            "lineitem",
+            [
+                Column("l_orderkey", 4, rows(1_500_000)),
+                Column("l_partkey", 4, rows(200_000)),
+                Column("l_suppkey", 4, rows(10_000)),
+                Column("l_linenumber", 4, 7),
+                Column("l_quantity", 8, 50),
+                Column("l_extendedprice", 8, rows(900_000)),
+                Column("l_discount", 8, 11),
+                Column("l_tax", 8, 9),
+                Column("l_returnflag", 1, 3),
+                Column("l_linestatus", 1, 2),
+                Column("l_shipdate", 4, 2_500),
+                Column("l_commitdate", 4, 2_450),
+                Column("l_receiptdate", 4, 2_550),
+                Column("l_shipinstruct", 12, 4),
+                Column("l_shipmode", 12, 7),
+                Column("l_comment", 27, rows(4_500_000)),
+            ],
+            row_count=rows(6_000_000),
+        )
+    )
+    return catalog
+
+
+def _eq(table: str, column: str, selectivity: float = None) -> Predicate:
+    return Predicate(table, column, PredicateOp.EQ, selectivity)
+
+
+def _rng(table: str, column: str, selectivity: float) -> Predicate:
+    return Predicate(table, column, PredicateOp.RANGE, selectivity)
+
+
+def _in(table: str, column: str, values: int) -> Predicate:
+    return Predicate(table, column, PredicateOp.IN, values=values)
+
+
+def tpch_workload() -> Workload:
+    """The 22 TPC-H queries as structural query definitions."""
+    queries: List[Query] = []
+
+    # Q1: pricing summary report — one-table scan with date cutoff.
+    queries.append(
+        Query(
+            "tpch_q1",
+            tables=["lineitem"],
+            predicates=[_rng("lineitem", "l_shipdate", 0.95)],
+            group_by=[("lineitem", "l_returnflag"), ("lineitem", "l_linestatus")],
+            select=[
+                ("lineitem", "l_quantity"),
+                ("lineitem", "l_extendedprice"),
+                ("lineitem", "l_discount"),
+                ("lineitem", "l_tax"),
+            ],
+        )
+    )
+    # Q2: minimum cost supplier.
+    queries.append(
+        Query(
+            "tpch_q2",
+            tables=["part", "partsupp", "supplier", "nation", "region"],
+            predicates=[
+                _eq("part", "p_size"),
+                _rng("part", "p_type", 0.02),
+                _eq("region", "r_name"),
+            ],
+            joins=[
+                JoinEdge("part", "p_partkey", "partsupp", "ps_partkey"),
+                JoinEdge("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+                JoinEdge("supplier", "s_nationkey", "nation", "n_nationkey"),
+                JoinEdge("nation", "n_regionkey", "region", "r_regionkey"),
+            ],
+            select=[
+                ("supplier", "s_acctbal"),
+                ("supplier", "s_name"),
+                ("nation", "n_name"),
+                ("partsupp", "ps_supplycost"),
+            ],
+        )
+    )
+    # Q3: shipping priority.
+    queries.append(
+        Query(
+            "tpch_q3",
+            tables=["customer", "orders", "lineitem"],
+            predicates=[
+                _eq("customer", "c_mktsegment"),
+                _rng("orders", "o_orderdate", 0.48),
+                _rng("lineitem", "l_shipdate", 0.53),
+            ],
+            joins=[
+                JoinEdge("customer", "c_custkey", "orders", "o_custkey"),
+                JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey"),
+            ],
+            group_by=[("lineitem", "l_orderkey")],
+            select=[
+                ("lineitem", "l_extendedprice"),
+                ("lineitem", "l_discount"),
+                ("orders", "o_orderdate"),
+                ("orders", "o_shippriority"),
+            ],
+        )
+    )
+    # Q4: order priority checking.
+    queries.append(
+        Query(
+            "tpch_q4",
+            tables=["orders", "lineitem"],
+            predicates=[
+                _rng("orders", "o_orderdate", 0.038),
+                _rng("lineitem", "l_commitdate", 0.5),
+            ],
+            joins=[JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey")],
+            group_by=[("orders", "o_orderpriority")],
+        )
+    )
+    # Q5: local supplier volume.
+    queries.append(
+        Query(
+            "tpch_q5",
+            tables=["customer", "orders", "lineitem", "supplier", "nation", "region"],
+            predicates=[
+                _eq("region", "r_name"),
+                _rng("orders", "o_orderdate", 0.15),
+            ],
+            joins=[
+                JoinEdge("customer", "c_custkey", "orders", "o_custkey"),
+                JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey"),
+                JoinEdge("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+                JoinEdge("supplier", "s_nationkey", "nation", "n_nationkey"),
+                JoinEdge("nation", "n_regionkey", "region", "r_regionkey"),
+            ],
+            group_by=[("nation", "n_name")],
+            select=[
+                ("lineitem", "l_extendedprice"),
+                ("lineitem", "l_discount"),
+            ],
+        )
+    )
+    # Q6: forecasting revenue change — the classic sargable range scan.
+    queries.append(
+        Query(
+            "tpch_q6",
+            tables=["lineitem"],
+            predicates=[
+                _rng("lineitem", "l_shipdate", 0.15),
+                _rng("lineitem", "l_discount", 0.27),
+                _rng("lineitem", "l_quantity", 0.48),
+            ],
+            select=[
+                ("lineitem", "l_extendedprice"),
+            ],
+        )
+    )
+    # Q7: volume shipping.
+    queries.append(
+        Query(
+            "tpch_q7",
+            tables=["supplier", "lineitem", "orders", "customer", "nation"],
+            predicates=[
+                _in("nation", "n_name", 2),
+                _rng("lineitem", "l_shipdate", 0.3),
+            ],
+            joins=[
+                JoinEdge("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+                JoinEdge("lineitem", "l_orderkey", "orders", "o_orderkey"),
+                JoinEdge("orders", "o_custkey", "customer", "c_custkey"),
+                JoinEdge("supplier", "s_nationkey", "nation", "n_nationkey"),
+            ],
+            group_by=[("nation", "n_name"), ("lineitem", "l_shipdate")],
+            select=[
+                ("lineitem", "l_extendedprice"),
+                ("lineitem", "l_discount"),
+            ],
+        )
+    )
+    # Q8: national market share.
+    queries.append(
+        Query(
+            "tpch_q8",
+            tables=["part", "lineitem", "orders", "customer", "nation", "region"],
+            predicates=[
+                _eq("part", "p_type"),
+                _eq("region", "r_name"),
+                _rng("orders", "o_orderdate", 0.3),
+            ],
+            joins=[
+                JoinEdge("part", "p_partkey", "lineitem", "l_partkey"),
+                JoinEdge("lineitem", "l_orderkey", "orders", "o_orderkey"),
+                JoinEdge("orders", "o_custkey", "customer", "c_custkey"),
+                JoinEdge("customer", "c_nationkey", "nation", "n_nationkey"),
+                JoinEdge("nation", "n_regionkey", "region", "r_regionkey"),
+            ],
+            group_by=[("orders", "o_orderdate")],
+            select=[
+                ("lineitem", "l_extendedprice"),
+                ("lineitem", "l_discount"),
+            ],
+        )
+    )
+    # Q9: product type profit measure.
+    queries.append(
+        Query(
+            "tpch_q9",
+            tables=["part", "lineitem", "partsupp", "orders", "supplier", "nation"],
+            predicates=[_rng("part", "p_name", 0.055)],
+            joins=[
+                JoinEdge("part", "p_partkey", "lineitem", "l_partkey"),
+                JoinEdge("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+                JoinEdge("lineitem", "l_orderkey", "orders", "o_orderkey"),
+                JoinEdge("part", "p_partkey", "partsupp", "ps_partkey"),
+                JoinEdge("supplier", "s_nationkey", "nation", "n_nationkey"),
+            ],
+            group_by=[("nation", "n_name"), ("orders", "o_orderdate")],
+            select=[
+                ("lineitem", "l_extendedprice"),
+                ("lineitem", "l_discount"),
+                ("partsupp", "ps_supplycost"),
+                ("lineitem", "l_quantity"),
+            ],
+        )
+    )
+    # Q10: returned item reporting.
+    queries.append(
+        Query(
+            "tpch_q10",
+            tables=["customer", "orders", "lineitem", "nation"],
+            predicates=[
+                _rng("orders", "o_orderdate", 0.038),
+                _eq("lineitem", "l_returnflag"),
+            ],
+            joins=[
+                JoinEdge("customer", "c_custkey", "orders", "o_custkey"),
+                JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey"),
+                JoinEdge("customer", "c_nationkey", "nation", "n_nationkey"),
+            ],
+            group_by=[("customer", "c_custkey")],
+            select=[
+                ("customer", "c_name"),
+                ("customer", "c_acctbal"),
+                ("nation", "n_name"),
+                ("lineitem", "l_extendedprice"),
+                ("lineitem", "l_discount"),
+            ],
+        )
+    )
+    # Q11: important stock identification.
+    queries.append(
+        Query(
+            "tpch_q11",
+            tables=["partsupp", "supplier", "nation"],
+            predicates=[_eq("nation", "n_name")],
+            joins=[
+                JoinEdge("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+                JoinEdge("supplier", "s_nationkey", "nation", "n_nationkey"),
+            ],
+            group_by=[("partsupp", "ps_partkey")],
+            select=[
+                ("partsupp", "ps_supplycost"),
+                ("partsupp", "ps_availqty"),
+            ],
+        )
+    )
+    # Q12: shipping modes and order priority.
+    queries.append(
+        Query(
+            "tpch_q12",
+            tables=["orders", "lineitem"],
+            predicates=[
+                _in("lineitem", "l_shipmode", 2),
+                _rng("lineitem", "l_receiptdate", 0.15),
+            ],
+            joins=[JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey")],
+            group_by=[("lineitem", "l_shipmode")],
+            select=[("orders", "o_orderpriority")],
+        )
+    )
+    # Q13: customer distribution (customer left join orders).
+    queries.append(
+        Query(
+            "tpch_q13",
+            tables=["customer", "orders"],
+            predicates=[_rng("orders", "o_comment", 0.98)],
+            joins=[JoinEdge("customer", "c_custkey", "orders", "o_custkey")],
+            group_by=[("customer", "c_custkey")],
+        )
+    )
+    # Q14: promotion effect.
+    queries.append(
+        Query(
+            "tpch_q14",
+            tables=["lineitem", "part"],
+            predicates=[_rng("lineitem", "l_shipdate", 0.013)],
+            joins=[JoinEdge("lineitem", "l_partkey", "part", "p_partkey")],
+            select=[
+                ("lineitem", "l_extendedprice"),
+                ("lineitem", "l_discount"),
+                ("part", "p_type"),
+            ],
+        )
+    )
+    # Q15: top supplier (revenue view).
+    queries.append(
+        Query(
+            "tpch_q15",
+            tables=["lineitem", "supplier"],
+            predicates=[_rng("lineitem", "l_shipdate", 0.04)],
+            joins=[JoinEdge("lineitem", "l_suppkey", "supplier", "s_suppkey")],
+            group_by=[("lineitem", "l_suppkey")],
+            select=[
+                ("lineitem", "l_extendedprice"),
+                ("lineitem", "l_discount"),
+                ("supplier", "s_name"),
+            ],
+        )
+    )
+    # Q16: parts/supplier relationship.
+    queries.append(
+        Query(
+            "tpch_q16",
+            tables=["partsupp", "part"],
+            predicates=[
+                _eq("part", "p_brand"),
+                _rng("part", "p_type", 0.97),
+                _in("part", "p_size", 8),
+            ],
+            joins=[JoinEdge("partsupp", "ps_partkey", "part", "p_partkey")],
+            group_by=[
+                ("part", "p_brand"),
+                ("part", "p_type"),
+                ("part", "p_size"),
+            ],
+            select=[("partsupp", "ps_suppkey")],
+        )
+    )
+    # Q17: small-quantity-order revenue.
+    queries.append(
+        Query(
+            "tpch_q17",
+            tables=["lineitem", "part"],
+            predicates=[
+                _eq("part", "p_brand"),
+                _eq("part", "p_container"),
+                _rng("lineitem", "l_quantity", 0.28),
+            ],
+            joins=[JoinEdge("lineitem", "l_partkey", "part", "p_partkey")],
+            select=[("lineitem", "l_extendedprice")],
+        )
+    )
+    # Q18: large volume customer.
+    queries.append(
+        Query(
+            "tpch_q18",
+            tables=["customer", "orders", "lineitem"],
+            predicates=[_rng("lineitem", "l_quantity", 0.02)],
+            joins=[
+                JoinEdge("customer", "c_custkey", "orders", "o_custkey"),
+                JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey"),
+            ],
+            group_by=[("customer", "c_name"), ("orders", "o_orderkey")],
+            select=[
+                ("orders", "o_orderdate"),
+                ("orders", "o_totalprice"),
+                ("lineitem", "l_quantity"),
+            ],
+        )
+    )
+    # Q19: discounted revenue (brand/container/quantity disjunction).
+    queries.append(
+        Query(
+            "tpch_q19",
+            tables=["lineitem", "part"],
+            predicates=[
+                _in("part", "p_brand", 3),
+                _in("part", "p_container", 12),
+                _rng("lineitem", "l_quantity", 0.4),
+                _in("lineitem", "l_shipmode", 2),
+            ],
+            joins=[JoinEdge("lineitem", "l_partkey", "part", "p_partkey")],
+            select=[
+                ("lineitem", "l_extendedprice"),
+                ("lineitem", "l_discount"),
+            ],
+        )
+    )
+    # Q20: potential part promotion.
+    queries.append(
+        Query(
+            "tpch_q20",
+            tables=["supplier", "nation", "partsupp", "part", "lineitem"],
+            predicates=[
+                _eq("nation", "n_name"),
+                _rng("part", "p_name", 0.055),
+                _rng("lineitem", "l_shipdate", 0.15),
+            ],
+            joins=[
+                JoinEdge("supplier", "s_nationkey", "nation", "n_nationkey"),
+                JoinEdge("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+                JoinEdge("partsupp", "ps_partkey", "part", "p_partkey"),
+                JoinEdge("lineitem", "l_partkey", "part", "p_partkey"),
+            ],
+            select=[
+                ("supplier", "s_name"),
+                ("supplier", "s_address"),
+                ("partsupp", "ps_availqty"),
+                ("lineitem", "l_quantity"),
+            ],
+        )
+    )
+    # Q21: suppliers who kept orders waiting.
+    queries.append(
+        Query(
+            "tpch_q21",
+            tables=["supplier", "lineitem", "orders", "nation"],
+            predicates=[
+                _eq("nation", "n_name"),
+                _eq("orders", "o_orderstatus"),
+                _rng("lineitem", "l_receiptdate", 0.5),
+            ],
+            joins=[
+                JoinEdge("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+                JoinEdge("lineitem", "l_orderkey", "orders", "o_orderkey"),
+                JoinEdge("supplier", "s_nationkey", "nation", "n_nationkey"),
+            ],
+            group_by=[("supplier", "s_name")],
+        )
+    )
+    # Q22: global sales opportunity.
+    queries.append(
+        Query(
+            "tpch_q22",
+            tables=["customer", "orders"],
+            predicates=[
+                _in("customer", "c_phone", 7),
+                _rng("customer", "c_acctbal", 0.5),
+            ],
+            joins=[JoinEdge("customer", "c_custkey", "orders", "o_custkey")],
+            group_by=[("customer", "c_phone")],
+            select=[("customer", "c_acctbal")],
+        )
+    )
+    return Workload("tpch", queries)

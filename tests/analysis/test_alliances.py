@@ -1,0 +1,149 @@
+"""Unit tests for alliance detection (Section 5.1, Figure 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.alliances import (
+    apply_alliances,
+    best_internal_order,
+    find_alliances,
+)
+from repro.analysis.constraints import ConstraintSet
+from repro.core.instance import (
+    BuildInteraction,
+    IndexDef,
+    PlanDef,
+    ProblemInstance,
+    QueryDef,
+)
+
+
+def figure5_instance() -> ProblemInstance:
+    """The paper's Figure 5: plans {i1,i3}, {i1,i3,i5}, {i2,i5}, {i4,i6}.
+
+    (0-based here: i1->0, i2->1, i3->2, i4->3, i5->4, i6->5.)
+    """
+    return ProblemInstance(
+        indexes=[IndexDef(i, f"i{i + 1}", 10.0) for i in range(6)],
+        queries=[QueryDef(q, f"q{q}", 100.0) for q in range(4)],
+        plans=[
+            PlanDef(0, 0, frozenset({0, 2}), 10.0),
+            PlanDef(1, 1, frozenset({0, 2, 4}), 20.0),
+            PlanDef(2, 2, frozenset({1, 4}), 15.0),
+            PlanDef(3, 3, frozenset({3, 5}), 12.0),
+        ],
+        name="figure5",
+    )
+
+
+class TestFindAlliances:
+    def test_figure5_groups(self):
+        alliances = find_alliances(figure5_instance())
+        assert (0, 2) in alliances  # i1, i3 always together
+        assert (3, 5) in alliances  # i4, i6 always together
+
+    def test_figure5_i2_i5_not_allied(self):
+        # i5 appears in {i1,i3,i5} without i2 (the paper's counterexample).
+        alliances = find_alliances(figure5_instance())
+        flat = {member for group in alliances for member in group}
+        for group in alliances:
+            assert not ({1, 4} <= set(group))
+
+    def test_external_build_interaction_blocks_alliance(self):
+        base = figure5_instance()
+        spoiled = base.with_build_interactions(
+            [BuildInteraction(target=0, helper=1, saving=2.0)]
+        )
+        alliances = find_alliances(spoiled)
+        assert (0, 2) not in alliances  # i1 now interacts outside the group
+        assert (3, 5) in alliances
+
+    def test_internal_build_interaction_keeps_alliance(self):
+        base = figure5_instance()
+        internal = base.with_build_interactions(
+            [BuildInteraction(target=0, helper=2, saving=2.0)]
+        )
+        assert (0, 2) in find_alliances(internal)
+
+    def test_index_serving_no_plan_not_allied(self):
+        instance = ProblemInstance(
+            indexes=[IndexDef(0, "a", 1.0), IndexDef(1, "b", 1.0)],
+            queries=[QueryDef(0, "q", 1.0)],
+            plans=[],
+        )
+        assert find_alliances(instance) == []
+
+    def test_three_member_alliance(self):
+        instance = ProblemInstance(
+            indexes=[IndexDef(i, f"i{i}", 5.0) for i in range(3)],
+            queries=[QueryDef(0, "q", 100.0)],
+            plans=[PlanDef(0, 0, frozenset({0, 1, 2}), 50.0)],
+        )
+        assert find_alliances(instance) == [(0, 1, 2)]
+
+
+class TestBestInternalOrder:
+    def test_no_internal_interactions_sorted_by_id(self):
+        instance = figure5_instance()
+        assert best_internal_order(instance, (0, 2)) == [0, 2]
+
+    def test_internal_interaction_prefers_helper_first(self):
+        instance = ProblemInstance(
+            indexes=[
+                IndexDef(0, "narrow", 40.0),
+                IndexDef(1, "wide", 50.0),
+            ],
+            queries=[QueryDef(0, "q", 100.0)],
+            plans=[PlanDef(0, 0, frozenset({0, 1}), 50.0)],
+            build_interactions=[BuildInteraction(0, 1, 30.0)],
+        )
+        # Building wide (1) first lets narrow (0) cost 10 instead of 40.
+        assert best_internal_order(instance, (0, 1)) == [1, 0]
+
+    def test_singleton_group(self):
+        assert best_internal_order(figure5_instance(), (2,)) == [2]
+
+    def test_large_group_greedy(self):
+        # > _EXACT_ORDER_LIMIT members forces the greedy path: the
+        # cheapest-buildable-next rule takes the cheap helper first and
+        # then the index it discounts.
+        members = list(range(9))
+        costs = {i: 10.0 + i for i in members}
+        costs[8] = 5.0  # the helper is the cheapest build
+        instance = ProblemInstance(
+            indexes=[IndexDef(i, f"i{i}", costs[i]) for i in members],
+            queries=[QueryDef(0, "q", 1000.0)],
+            plans=[PlanDef(0, 0, frozenset(members), 500.0)],
+            build_interactions=[BuildInteraction(0, 8, 9.0)],
+        )
+        order = best_internal_order(instance, tuple(members))
+        assert sorted(order) == members
+        assert order[0] == 8  # cheapest first
+        assert order[1] == 0  # now costs 10 - 9 = 1
+
+
+class TestApplyAlliances:
+    def test_adds_consecutive_pairs(self):
+        instance = figure5_instance()
+        constraints = ConstraintSet(instance.n_indexes)
+        added = apply_alliances(instance, constraints)
+        assert added >= 2
+        pairs = set(constraints.consecutive_pairs)
+        assert (0, 2) in pairs
+        assert (3, 5) in pairs
+
+    def test_idempotent(self):
+        instance = figure5_instance()
+        constraints = ConstraintSet(instance.n_indexes)
+        apply_alliances(instance, constraints)
+        assert apply_alliances(instance, constraints) == 0
+
+    def test_conflicting_existing_constraints_skip_group(self):
+        instance = figure5_instance()
+        constraints = ConstraintSet(instance.n_indexes)
+        constraints.add_precedence(2, 0)  # reverse of the chosen order
+        apply_alliances(instance, constraints)
+        assert (0, 2) not in constraints.consecutive_pairs
+        # The other group is still glued.
+        assert (3, 5) in constraints.consecutive_pairs

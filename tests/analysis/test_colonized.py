@@ -1,0 +1,113 @@
+"""Unit tests for colonized-index detection (Section 5.2, Figure 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.colonized import apply_colonized, find_colonized
+from repro.analysis.constraints import ConstraintSet
+from repro.core.instance import (
+    BuildInteraction,
+    IndexDef,
+    PlanDef,
+    ProblemInstance,
+    QueryDef,
+)
+
+
+def figure6_instance() -> ProblemInstance:
+    """The paper's Figure 6: i1 colonized by i2 (not by i3/i4).
+
+    Plans: {i1,i2,i3}, {i1,i2,i4}, {i2}.  (0-based: i1->0, i2->1,
+    i3->2, i4->3.)
+    """
+    return ProblemInstance(
+        indexes=[IndexDef(i, f"i{i + 1}", 10.0) for i in range(4)],
+        queries=[QueryDef(q, f"q{q}", 100.0) for q in range(3)],
+        plans=[
+            PlanDef(0, 0, frozenset({0, 1, 2}), 30.0),
+            PlanDef(1, 1, frozenset({0, 1, 3}), 25.0),
+            PlanDef(2, 2, frozenset({1}), 10.0),
+        ],
+        name="figure6",
+    )
+
+
+class TestFindColonized:
+    def test_figure6_i1_colonized_by_i2(self):
+        pairs = find_colonized(figure6_instance())
+        assert (0, 1) in pairs
+
+    def test_figure6_not_colonized_by_i3_or_i4(self):
+        pairs = find_colonized(figure6_instance())
+        assert (0, 2) not in pairs
+        assert (0, 3) not in pairs
+
+    def test_strictness_required(self):
+        # Two indexes always together are an alliance, not colonization.
+        instance = ProblemInstance(
+            indexes=[IndexDef(0, "a", 1.0), IndexDef(1, "b", 1.0)],
+            queries=[QueryDef(0, "q", 100.0)],
+            plans=[PlanDef(0, 0, frozenset({0, 1}), 10.0)],
+        )
+        assert find_colonized(instance) == []
+
+    def test_build_helper_disqualifies(self):
+        # i1 helps build i3: deferring i1 could lose that interaction.
+        instance = figure6_instance().with_build_interactions(
+            [BuildInteraction(target=2, helper=0, saving=3.0)]
+        )
+        pairs = find_colonized(instance)
+        assert (0, 1) not in pairs
+
+    def test_receiving_build_help_is_fine(self):
+        # i1 *receiving* help does not disqualify it.
+        instance = figure6_instance().with_build_interactions(
+            [BuildInteraction(target=0, helper=1, saving=3.0)]
+        )
+        assert (0, 1) in find_colonized(instance)
+
+    def test_index_without_plans_skipped(self):
+        instance = ProblemInstance(
+            indexes=[IndexDef(0, "a", 1.0), IndexDef(1, "b", 1.0)],
+            queries=[QueryDef(0, "q", 100.0)],
+            plans=[PlanDef(0, 0, frozenset({1}), 10.0)],
+        )
+        assert find_colonized(instance) == []
+
+    def test_multiple_colonizers(self):
+        # i0 appears only in {i0, i1, i2}; i1 and i2 each appear alone too.
+        instance = ProblemInstance(
+            indexes=[IndexDef(i, f"i{i}", 1.0) for i in range(3)],
+            queries=[QueryDef(q, f"q{q}", 100.0) for q in range(3)],
+            plans=[
+                PlanDef(0, 0, frozenset({0, 1, 2}), 30.0),
+                PlanDef(1, 1, frozenset({1}), 5.0),
+                PlanDef(2, 2, frozenset({2}), 5.0),
+            ],
+        )
+        pairs = find_colonized(instance)
+        assert (0, 1) in pairs
+        assert (0, 2) in pairs
+
+
+class TestApplyColonized:
+    def test_adds_precedence(self):
+        instance = figure6_instance()
+        constraints = ConstraintSet(instance.n_indexes)
+        added = apply_colonized(instance, constraints)
+        assert added >= 1
+        assert constraints.is_before(1, 0)  # colonizer i2 before i1
+
+    def test_idempotent(self):
+        instance = figure6_instance()
+        constraints = ConstraintSet(instance.n_indexes)
+        apply_colonized(instance, constraints)
+        assert apply_colonized(instance, constraints) == 0
+
+    def test_existing_reverse_constraint_skipped(self):
+        instance = figure6_instance()
+        constraints = ConstraintSet(instance.n_indexes)
+        constraints.add_precedence(0, 1)  # force the reverse
+        added = apply_colonized(instance, constraints)
+        assert not constraints.is_before(1, 0)

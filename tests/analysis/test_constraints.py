@@ -1,0 +1,185 @@
+"""Unit tests for the shared ConstraintSet."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.analysis.constraints import ConstraintSet
+from repro.errors import InfeasibleError, ValidationError
+
+
+class TestAddPrecedence:
+    def test_returns_true_on_new_information(self):
+        cs = ConstraintSet(3)
+        assert cs.add_precedence(0, 1) is True
+
+    def test_returns_false_when_implied(self):
+        cs = ConstraintSet(3)
+        cs.add_precedence(0, 1)
+        assert cs.add_precedence(0, 1) is False
+
+    def test_transitive_closure(self):
+        cs = ConstraintSet(4)
+        cs.add_precedence(0, 1)
+        cs.add_precedence(1, 2)
+        assert cs.is_before(0, 2)
+        assert cs.add_precedence(0, 2) is False  # already implied
+
+    def test_closure_propagates_both_sides(self):
+        cs = ConstraintSet(5)
+        cs.add_precedence(0, 1)
+        cs.add_precedence(2, 3)
+        cs.add_precedence(1, 2)
+        # 0 < 1 < 2 < 3 fully chained
+        assert cs.is_before(0, 3)
+        assert cs.predecessors(3) == {0, 1, 2}
+        assert cs.successors(0) == {1, 2, 3}
+
+    def test_contradiction_raises(self):
+        cs = ConstraintSet(3)
+        cs.add_precedence(0, 1)
+        cs.add_precedence(1, 2)
+        with pytest.raises(InfeasibleError):
+            cs.add_precedence(2, 0)
+
+    def test_direct_contradiction_raises(self):
+        cs = ConstraintSet(2)
+        cs.add_precedence(0, 1)
+        with pytest.raises(InfeasibleError):
+            cs.add_precedence(1, 0)
+
+    def test_self_constraint_rejected(self):
+        with pytest.raises(ValidationError):
+            ConstraintSet(3).add_precedence(1, 1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            ConstraintSet(3).add_precedence(0, 3)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValidationError):
+            ConstraintSet(-1)
+
+
+class TestConsecutive:
+    def test_implies_precedence(self):
+        cs = ConstraintSet(3)
+        cs.add_consecutive(0, 1)
+        assert cs.is_before(0, 1)
+
+    def test_recorded_once(self):
+        cs = ConstraintSet(3)
+        cs.add_consecutive(0, 1)
+        cs.add_consecutive(0, 1)
+        assert cs.consecutive_pairs == [(0, 1)]
+
+    def test_check_order_enforces_adjacency(self):
+        cs = ConstraintSet(3)
+        cs.add_consecutive(0, 1)
+        assert cs.check_order([0, 1, 2])
+        assert cs.check_order([2, 0, 1])
+        assert not cs.check_order([0, 2, 1])  # gap between the pair
+
+
+class TestQueries:
+    def test_position_bounds(self):
+        cs = ConstraintSet(4)
+        cs.add_precedence(0, 1)
+        cs.add_precedence(1, 2)
+        lo, hi = cs.position_bounds(1)
+        assert (lo, hi) == (2, 3)  # one predecessor, one successor
+        assert cs.position_bounds(3) == (1, 4)  # unconstrained
+
+    def test_implied_pair_count(self):
+        cs = ConstraintSet(4)
+        cs.add_precedence(0, 1)
+        cs.add_precedence(1, 2)
+        assert cs.implied_pair_count() == 3  # (0,1), (1,2), (0,2)
+
+    def test_masks_consistent_with_sets(self):
+        cs = ConstraintSet(5)
+        cs.add_precedence(0, 4)
+        cs.add_precedence(2, 4)
+        assert cs.predecessor_mask(4) == (1 << 0) | (1 << 2)
+        assert cs.successor_mask(0) == (1 << 4)
+
+    def test_check_order_true_on_empty_set(self):
+        cs = ConstraintSet(3)
+        for order in itertools.permutations(range(3)):
+            assert cs.check_order(order)
+
+    def test_check_order_respects_closure(self):
+        cs = ConstraintSet(3)
+        cs.add_precedence(0, 1)
+        cs.add_precedence(1, 2)
+        assert cs.check_order([0, 1, 2])
+        assert not cs.check_order([0, 2, 1])
+        assert not cs.check_order([2, 1, 0])
+
+
+class TestTopologicalOrder:
+    def test_respects_precedences(self):
+        cs = ConstraintSet(5)
+        cs.add_precedence(3, 0)
+        cs.add_precedence(4, 3)
+        order = cs.topological_order()
+        assert cs.check_order(order) or cs.consecutive_pairs
+        assert order.index(4) < order.index(3) < order.index(0)
+
+    def test_unconstrained_is_identity(self):
+        assert ConstraintSet(4).topological_order() == [0, 1, 2, 3]
+
+
+class TestMergeAndCopy:
+    def test_merge_absorbs_edges(self):
+        a = ConstraintSet(4)
+        a.add_precedence(0, 1)
+        b = ConstraintSet(4)
+        b.add_precedence(1, 2)
+        b.add_consecutive(2, 3)
+        a.merge(b)
+        assert a.is_before(0, 2)
+        assert (2, 3) in a.consecutive_pairs
+
+    def test_merge_size_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            ConstraintSet(3).merge(ConstraintSet(4))
+
+    def test_merge_conflict_raises(self):
+        a = ConstraintSet(2)
+        a.add_precedence(0, 1)
+        b = ConstraintSet(2)
+        b.add_precedence(1, 0)
+        with pytest.raises(InfeasibleError):
+            a.merge(b)
+
+    def test_copy_is_independent(self):
+        cs = ConstraintSet(3)
+        cs.add_precedence(0, 1)
+        clone = cs.copy()
+        clone.add_precedence(1, 2)
+        assert not cs.is_before(1, 2)
+        assert clone.is_before(0, 2)
+
+    def test_summary_and_repr(self):
+        cs = ConstraintSet(3)
+        cs.add_consecutive(0, 1)
+        summary = cs.summary()
+        assert summary["direct_edges"] == 1
+        assert summary["consecutive_pairs"] == 1
+        assert "ConstraintSet" in repr(cs)
+
+
+class TestSearchSpaceReduction:
+    def test_constraints_shrink_feasible_permutations(self):
+        cs = ConstraintSet(5)
+        cs.add_precedence(0, 1)
+        cs.add_precedence(2, 3)
+        feasible = sum(
+            1
+            for order in itertools.permutations(range(5))
+            if cs.check_order(order)
+        )
+        assert feasible == 120 // 4  # each independent pair halves

@@ -1,0 +1,183 @@
+"""Unit tests for dominated-index detection (Section 5.3, Figure 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.constraints import ConstraintSet
+from repro.analysis.dominated import (
+    apply_dominated,
+    find_dominated,
+    find_useless,
+    singleton_speedups,
+)
+from repro.core.instance import (
+    BuildInteraction,
+    IndexDef,
+    PlanDef,
+    ProblemInstance,
+    QueryDef,
+)
+
+from tests.conftest import brute_force_best
+
+
+def simple_domination_instance() -> ProblemInstance:
+    """i0 dominated by i1: same cost, i1's speed-up is larger everywhere."""
+    return ProblemInstance(
+        indexes=[IndexDef(0, "weak", 10.0), IndexDef(1, "strong", 10.0)],
+        queries=[QueryDef(0, "q0", 100.0), QueryDef(1, "q1", 100.0)],
+        plans=[
+            PlanDef(0, 0, frozenset({0}), 4.0),
+            PlanDef(1, 0, frozenset({1}), 5.0),
+            PlanDef(2, 1, frozenset({1}), 5.0),
+        ],
+        name="dominated",
+    )
+
+
+class TestSingletonSpeedups:
+    def test_collects_best_per_query(self):
+        instance = ProblemInstance(
+            indexes=[IndexDef(0, "a", 1.0)],
+            queries=[QueryDef(0, "q", 100.0)],
+            plans=[
+                PlanDef(0, 0, frozenset({0}), 10.0),
+                PlanDef(1, 0, frozenset({0}), 15.0),
+            ],
+        )
+        assert singleton_speedups(instance, 0) == {0: 15.0}
+
+    def test_ignores_multi_index_plans(self):
+        instance = ProblemInstance(
+            indexes=[IndexDef(0, "a", 1.0), IndexDef(1, "b", 1.0)],
+            queries=[QueryDef(0, "q", 100.0)],
+            plans=[PlanDef(0, 0, frozenset({0, 1}), 10.0)],
+        )
+        assert singleton_speedups(instance, 0) == {}
+
+
+class TestFindDominated:
+    def test_simple_domination(self):
+        pairs = find_dominated(simple_domination_instance())
+        assert (0, 1) in pairs
+        assert (1, 0) not in pairs
+
+    def test_cheaper_cost_dominates_on_equal_speedups(self):
+        instance = ProblemInstance(
+            indexes=[IndexDef(0, "pricey", 20.0), IndexDef(1, "cheap", 10.0)],
+            queries=[QueryDef(0, "q", 100.0)],
+            plans=[
+                PlanDef(0, 0, frozenset({0}), 5.0),
+                PlanDef(1, 0, frozenset({1}), 5.0),
+            ],
+        )
+        assert (0, 1) in find_dominated(instance)
+
+    def test_higher_cost_cannot_dominate(self):
+        instance = ProblemInstance(
+            indexes=[IndexDef(0, "cheap", 10.0), IndexDef(1, "pricey", 20.0)],
+            queries=[QueryDef(0, "q", 100.0)],
+            plans=[
+                PlanDef(0, 0, frozenset({0}), 5.0),
+                PlanDef(1, 0, frozenset({1}), 50.0),
+            ],
+        )
+        # i1 is stronger but more expensive: the sound special case
+        # refuses to call it dominant.
+        assert (0, 1) not in find_dominated(instance)
+
+    def test_tie_broken_by_id(self):
+        instance = ProblemInstance(
+            indexes=[IndexDef(0, "a", 10.0), IndexDef(1, "b", 10.0)],
+            queries=[QueryDef(0, "q", 100.0)],
+            plans=[
+                PlanDef(0, 0, frozenset({0}), 5.0),
+                PlanDef(1, 0, frozenset({1}), 5.0),
+            ],
+        )
+        pairs = find_dominated(instance)
+        assert (1, 0) in pairs  # lower id becomes the canonical dominator
+        assert (0, 1) not in pairs
+
+    def test_multi_index_plan_member_excluded(self):
+        instance = ProblemInstance(
+            indexes=[
+                IndexDef(0, "a", 10.0),
+                IndexDef(1, "b", 10.0),
+                IndexDef(2, "c", 10.0),
+            ],
+            queries=[QueryDef(0, "q", 100.0)],
+            plans=[
+                PlanDef(0, 0, frozenset({0, 2}), 4.0),
+                PlanDef(1, 0, frozenset({1}), 50.0),
+            ],
+        )
+        # Index 0 participates in a 2-index plan: not a candidate.
+        assert all(pair[0] != 0 for pair in find_dominated(instance))
+
+    def test_build_interaction_member_excluded(self):
+        instance = simple_domination_instance().with_build_interactions(
+            [BuildInteraction(target=0, helper=1, saving=3.0)]
+        )
+        assert find_dominated(instance) == []
+
+
+class TestFindUseless:
+    def test_index_without_plans_or_helped(self):
+        instance = ProblemInstance(
+            indexes=[IndexDef(0, "useful", 1.0), IndexDef(1, "dead", 1.0)],
+            queries=[QueryDef(0, "q", 100.0)],
+            plans=[PlanDef(0, 0, frozenset({0}), 10.0)],
+        )
+        assert find_useless(instance) == [1]
+
+    def test_helper_is_not_useless(self):
+        instance = ProblemInstance(
+            indexes=[IndexDef(0, "useful", 10.0), IndexDef(1, "helper", 10.0)],
+            queries=[QueryDef(0, "q", 100.0)],
+            plans=[PlanDef(0, 0, frozenset({0}), 10.0)],
+            build_interactions=[BuildInteraction(target=0, helper=1, saving=5.0)],
+        )
+        assert find_useless(instance) == []
+
+
+class TestApplyDominated:
+    def test_adds_dominator_first(self):
+        instance = simple_domination_instance()
+        constraints = ConstraintSet(instance.n_indexes)
+        added = apply_dominated(instance, constraints)
+        assert added >= 1
+        assert constraints.is_before(1, 0)
+
+    def test_useless_pushed_last(self):
+        instance = ProblemInstance(
+            indexes=[
+                IndexDef(0, "useful", 1.0),
+                IndexDef(1, "dead", 1.0),
+                IndexDef(2, "useful2", 1.0),
+            ],
+            queries=[QueryDef(0, "q", 100.0)],
+            plans=[
+                PlanDef(0, 0, frozenset({0}), 10.0),
+                PlanDef(1, 0, frozenset({2}), 12.0),
+            ],
+        )
+        constraints = ConstraintSet(instance.n_indexes)
+        apply_dominated(instance, constraints)
+        assert constraints.is_before(0, 1)
+        assert constraints.is_before(2, 1)
+
+    def test_preserves_optimality(self):
+        instance = simple_domination_instance()
+        _, unconstrained_best = brute_force_best(instance)
+        constraints = ConstraintSet(instance.n_indexes)
+        apply_dominated(instance, constraints)
+        _, constrained_best = brute_force_best(instance, constraints)
+        assert constrained_best == pytest.approx(unconstrained_best)
+
+    def test_idempotent(self):
+        instance = simple_domination_instance()
+        constraints = ConstraintSet(instance.n_indexes)
+        apply_dominated(instance, constraints)
+        assert apply_dominated(instance, constraints) == 0

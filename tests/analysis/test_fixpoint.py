@@ -1,0 +1,117 @@
+"""Unit tests for the iterate-and-recurse analysis driver (Section 5.6).
+
+The central guarantee: for every property subset, the emitted constraints
+never exclude all optimal solutions — the constrained optimum equals the
+unconstrained optimum (checked by brute force on small instances).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.fixpoint import PROPERTY_ORDER, analyze
+from repro.errors import ValidationError
+
+from tests.conftest import (
+    brute_force_best,
+    make_paper_example,
+    make_precedence_example,
+    small_synthetic,
+)
+
+
+class TestAnalyzeBasics:
+    def test_report_shape(self):
+        report = analyze(make_paper_example())
+        assert report.iterations >= 1
+        assert report.elapsed >= 0.0
+        assert set(report.added_by_property) <= set(PROPERTY_ORDER)
+        assert report.total_added == sum(report.added_by_property.values())
+
+    def test_describe_mentions_counts(self):
+        report = analyze(make_paper_example())
+        text = report.describe()
+        assert "iterations=" in text
+        assert "implied_pairs=" in text
+
+    def test_unknown_property_letter_rejected(self):
+        with pytest.raises(ValidationError, match="unknown property"):
+            analyze(make_paper_example(), properties="AXZ")
+
+    def test_property_subset_selection(self):
+        instance = small_synthetic(seed=2, n=7)
+        report = analyze(instance, properties="A")
+        assert set(report.added_by_property) <= {"A"}
+
+    def test_empty_property_string(self):
+        instance = small_synthetic(seed=2, n=7)
+        report = analyze(instance, properties="")
+        assert report.total_added == 0
+
+    def test_hard_precedences_included(self):
+        instance = make_precedence_example()
+        report = analyze(instance, properties="")
+        assert report.constraints.is_before(0, 1)
+        assert report.constraints.is_before(0, 2)
+
+    def test_case_insensitive_properties(self):
+        instance = small_synthetic(seed=2, n=7)
+        upper = analyze(instance, properties="ACM")
+        lower = analyze(instance, properties="acm")
+        assert upper.constraints.summary() == lower.constraints.summary()
+
+
+class TestOptimalityPreservation:
+    """The paper's claim: pruning never loses every optimal solution."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_full_analysis_preserves_optimum(self, seed):
+        instance = small_synthetic(seed=seed, n=6)
+        _, unconstrained = brute_force_best(instance)
+        report = analyze(instance)
+        _, constrained = brute_force_best(instance, report.constraints)
+        assert constrained == pytest.approx(unconstrained, rel=1e-9)
+
+    @pytest.mark.parametrize("properties", ["A", "AC", "ACM", "ACMD", "ACMDT"])
+    def test_each_prefix_preserves_optimum(self, properties):
+        instance = small_synthetic(seed=13, n=7)
+        _, unconstrained = brute_force_best(instance)
+        report = analyze(instance, properties=properties)
+        _, constrained = brute_force_best(instance, report.constraints)
+        assert constrained == pytest.approx(unconstrained, rel=1e-9)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_preserves_optimum_with_build_interactions(self, seed):
+        instance = small_synthetic(
+            seed=seed, n=6, build_interaction_rate=2.0
+        )
+        _, unconstrained = brute_force_best(instance)
+        report = analyze(instance)
+        _, constrained = brute_force_best(instance, report.constraints)
+        assert constrained == pytest.approx(unconstrained, rel=1e-9)
+
+    def test_preserves_optimum_with_hard_precedences(self):
+        instance = small_synthetic(seed=9, n=6, precedence_rate=5.0)
+        baseline = analyze(instance, properties="")
+        _, unconstrained = brute_force_best(instance, baseline.constraints)
+        report = analyze(instance)
+        _, constrained = brute_force_best(instance, report.constraints)
+        assert constrained == pytest.approx(unconstrained, rel=1e-9)
+
+
+class TestSearchSpaceReduction:
+    def test_analysis_adds_constraints_on_reduced_tpch(self, reduced_tpch_13):
+        report = analyze(reduced_tpch_13)
+        assert report.total_added > 0
+        assert report.constraints.implied_pair_count() > 0
+
+    def test_fixpoint_terminates(self):
+        instance = small_synthetic(seed=4, n=10, plans_per_query=4.0)
+        report = analyze(instance)
+        assert report.iterations < 20
+
+    def test_time_budget_respected(self):
+        instance = small_synthetic(seed=4, n=10)
+        report = analyze(instance, time_budget=0.0)
+        # Zero budget: the loop stops after the first pass round.
+        assert report.iterations == 1

@@ -1,0 +1,124 @@
+"""Unit tests for Section-8.1 interaction-density reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.density import DENSITY_LEVELS, reduce_density
+from repro.core.instance import (
+    BuildInteraction,
+    IndexDef,
+    PlanDef,
+    ProblemInstance,
+    QueryDef,
+)
+from repro.errors import ValidationError
+
+from tests.conftest import small_synthetic
+
+
+@pytest.fixture
+def dense_instance() -> ProblemInstance:
+    return ProblemInstance(
+        indexes=[
+            IndexDef(0, "a", 100.0),
+            IndexDef(1, "b", 100.0),
+            IndexDef(2, "c", 100.0),
+        ],
+        queries=[
+            QueryDef(0, "q0", 100.0),
+            QueryDef(1, "q1", 100.0),
+        ],
+        plans=[
+            PlanDef(0, 0, frozenset({0}), 10.0),
+            PlanDef(1, 0, frozenset({1}), 30.0),     # q0 best
+            PlanDef(2, 0, frozenset({0, 1}), 20.0),
+            PlanDef(3, 1, frozenset({2}), 50.0),     # q1 best (only)
+        ],
+        build_interactions=[
+            BuildInteraction(0, 1, 20.0),  # 20% of cost: strong
+            BuildInteraction(1, 2, 5.0),   # 5% of cost: weak
+        ],
+        name="dense",
+    )
+
+
+class TestLowDensity:
+    def test_keeps_single_best_plan_per_query(self, dense_instance):
+        low = reduce_density(dense_instance, "low")
+        assert low.n_plans == 2
+        speedups = sorted(p.speedup for p in low.plans)
+        assert speedups == [30.0, 50.0]
+
+    def test_drops_all_build_interactions(self, dense_instance):
+        low = reduce_density(dense_instance, "low")
+        assert len(low.build_interactions) == 0
+
+    def test_name_suffix(self, dense_instance):
+        assert reduce_density(dense_instance, "low").name == "dense-low"
+
+    def test_indexes_and_queries_untouched(self, dense_instance):
+        low = reduce_density(dense_instance, "low")
+        assert low.n_indexes == dense_instance.n_indexes
+        assert low.n_queries == dense_instance.n_queries
+
+
+class TestMidDensity:
+    def test_keeps_top_two_plans_per_query(self, dense_instance):
+        mid = reduce_density(dense_instance, "mid")
+        # q0 keeps the 30 and 20 plans; q1 has only one plan.
+        assert mid.n_plans == 3
+        q0_speedups = sorted(
+            mid.plans[pid].speedup for pid in mid.plans_of_query(0)
+        )
+        assert q0_speedups == [20.0, 30.0]
+
+    def test_keeps_only_strong_build_interactions(self, dense_instance):
+        mid = reduce_density(dense_instance, "mid")
+        assert len(mid.build_interactions) == 1
+        assert mid.build_interactions[0].saving == 20.0
+
+    def test_threshold_is_15_percent(self):
+        instance = ProblemInstance(
+            indexes=[IndexDef(0, "a", 100.0), IndexDef(1, "b", 100.0)],
+            queries=[QueryDef(0, "q", 10.0)],
+            plans=[PlanDef(0, 0, frozenset({0}), 1.0)],
+            build_interactions=[BuildInteraction(0, 1, 15.0)],
+        )
+        mid = reduce_density(instance, "mid")
+        assert len(mid.build_interactions) == 1  # >= 15% survives
+
+
+class TestFullDensity:
+    def test_full_returns_same_object(self, dense_instance):
+        assert reduce_density(dense_instance, "full") is dense_instance
+
+
+class TestErrors:
+    def test_unknown_level_rejected(self, dense_instance):
+        with pytest.raises(ValidationError, match="unknown density"):
+            reduce_density(dense_instance, "extreme")
+
+    def test_levels_constant(self):
+        assert set(DENSITY_LEVELS) == {"low", "mid", "full"}
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_plan_counts_monotone(self, seed):
+        instance = small_synthetic(
+            seed=seed, n=10, plans_per_query=4.0, build_interaction_rate=2.0
+        )
+        low = reduce_density(instance, "low")
+        mid = reduce_density(instance, "mid")
+        assert low.n_plans <= mid.n_plans <= instance.n_plans
+        assert len(low.build_interactions) <= len(mid.build_interactions)
+        assert len(mid.build_interactions) <= len(instance.build_interactions)
+
+    def test_low_keeps_one_plan_per_query_with_plans(self):
+        instance = small_synthetic(seed=3, n=8, plans_per_query=5.0)
+        low = reduce_density(instance, "low")
+        for query in low.queries:
+            had_plans = bool(instance.plans_of_query(query.query_id))
+            now = len(low.plans_of_query(query.query_id))
+            assert now == (1 if had_plans else 0)

@@ -1,0 +1,350 @@
+"""Unit tests for the problem-instance data model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import (
+    BuildInteraction,
+    IndexDef,
+    PlanDef,
+    PrecedenceRule,
+    ProblemInstance,
+    QueryDef,
+)
+from repro.errors import ValidationError
+
+from tests.conftest import make_paper_example, make_tiny3
+
+
+# ----------------------------------------------------------------------
+# Value-object validation
+# ----------------------------------------------------------------------
+class TestIndexDef:
+    def test_valid(self):
+        ix = IndexDef(0, "ix", create_cost=5.0, size=10.0)
+        assert ix.name == "ix"
+        assert ix.create_cost == 5.0
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValidationError):
+            IndexDef(-1, "ix", create_cost=5.0)
+
+    def test_zero_cost_rejected(self):
+        with pytest.raises(ValidationError):
+            IndexDef(0, "ix", create_cost=0.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValidationError):
+            IndexDef(0, "ix", create_cost=-1.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValidationError):
+            IndexDef(0, "ix", create_cost=1.0, size=-1.0)
+
+
+class TestQueryDef:
+    def test_valid(self):
+        q = QueryDef(0, "q", base_runtime=10.0)
+        assert q.weight == 1.0
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ValidationError):
+            QueryDef(0, "q", base_runtime=-1.0)
+
+    def test_zero_runtime_allowed(self):
+        assert QueryDef(0, "q", base_runtime=0.0).base_runtime == 0.0
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValidationError):
+            QueryDef(0, "q", base_runtime=1.0, weight=0.0)
+
+
+class TestPlanDef:
+    def test_indexes_coerced_to_frozenset(self):
+        plan = PlanDef(0, 0, [1, 2, 2], 5.0)
+        assert plan.indexes == frozenset({1, 2})
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ValidationError):
+            PlanDef(0, 0, frozenset(), 5.0)
+
+    def test_nonpositive_speedup_rejected(self):
+        with pytest.raises(ValidationError):
+            PlanDef(0, 0, frozenset({1}), 0.0)
+
+
+class TestBuildInteraction:
+    def test_self_interaction_rejected(self):
+        with pytest.raises(ValidationError):
+            BuildInteraction(1, 1, 5.0)
+
+    def test_nonpositive_saving_rejected(self):
+        with pytest.raises(ValidationError):
+            BuildInteraction(0, 1, 0.0)
+
+
+class TestPrecedenceRule:
+    def test_self_rule_rejected(self):
+        with pytest.raises(ValidationError):
+            PrecedenceRule(2, 2)
+
+    def test_reason_stored(self):
+        assert PrecedenceRule(0, 1, reason="mv").reason == "mv"
+
+
+# ----------------------------------------------------------------------
+# Instance-level validation
+# ----------------------------------------------------------------------
+class TestInstanceValidation:
+    def test_non_dense_index_ids_rejected(self):
+        with pytest.raises(ValidationError, match="dense"):
+            ProblemInstance(
+                indexes=[IndexDef(1, "a", 1.0)],
+                queries=[QueryDef(0, "q", 1.0)],
+                plans=[],
+            )
+
+    def test_non_dense_query_ids_rejected(self):
+        with pytest.raises(ValidationError, match="dense"):
+            ProblemInstance(
+                indexes=[IndexDef(0, "a", 1.0)],
+                queries=[QueryDef(3, "q", 1.0)],
+                plans=[],
+            )
+
+    def test_plan_with_unknown_query_rejected(self):
+        with pytest.raises(ValidationError, match="unknown query"):
+            ProblemInstance(
+                indexes=[IndexDef(0, "a", 1.0)],
+                queries=[QueryDef(0, "q", 1.0)],
+                plans=[PlanDef(0, 5, frozenset({0}), 0.5)],
+            )
+
+    def test_plan_with_unknown_index_rejected(self):
+        with pytest.raises(ValidationError, match="unknown index"):
+            ProblemInstance(
+                indexes=[IndexDef(0, "a", 1.0)],
+                queries=[QueryDef(0, "q", 1.0)],
+                plans=[PlanDef(0, 0, frozenset({7}), 0.5)],
+            )
+
+    def test_speedup_exceeding_base_runtime_rejected(self):
+        with pytest.raises(ValidationError, match="exceeds"):
+            ProblemInstance(
+                indexes=[IndexDef(0, "a", 1.0)],
+                queries=[QueryDef(0, "q", 1.0)],
+                plans=[PlanDef(0, 0, frozenset({0}), 2.0)],
+            )
+
+    def test_build_saving_must_be_below_create_cost(self):
+        with pytest.raises(ValidationError, match="saving"):
+            ProblemInstance(
+                indexes=[IndexDef(0, "a", 1.0), IndexDef(1, "b", 1.0)],
+                queries=[QueryDef(0, "q", 1.0)],
+                plans=[],
+                build_interactions=[BuildInteraction(0, 1, 1.0)],
+            )
+
+    def test_build_interaction_unknown_index_rejected(self):
+        with pytest.raises(ValidationError, match="unknown index"):
+            ProblemInstance(
+                indexes=[IndexDef(0, "a", 1.0)],
+                queries=[QueryDef(0, "q", 1.0)],
+                plans=[],
+                build_interactions=[BuildInteraction(0, 9, 0.5)],
+            )
+
+    def test_precedence_unknown_index_rejected(self):
+        with pytest.raises(ValidationError, match="unknown index"):
+            ProblemInstance(
+                indexes=[IndexDef(0, "a", 1.0)],
+                queries=[QueryDef(0, "q", 1.0)],
+                plans=[],
+                precedences=[PrecedenceRule(0, 4)],
+            )
+
+
+# ----------------------------------------------------------------------
+# Lookups and derived quantities
+# ----------------------------------------------------------------------
+class TestLookups:
+    def test_shape_properties(self, paper_example):
+        assert paper_example.n_indexes == 2
+        assert paper_example.n_queries == 1
+        assert paper_example.n_plans == 2
+
+    def test_plans_of_query(self, paper_example):
+        assert list(paper_example.plans_of_query(0)) == [0, 1]
+
+    def test_plans_containing(self, paper_example):
+        assert list(paper_example.plans_containing(0)) == [0]
+        assert list(paper_example.plans_containing(1)) == [1]
+
+    def test_build_helpers_and_helped(self, paper_example):
+        assert list(paper_example.build_helpers(0)) == [(1, 28.0)]
+        assert list(paper_example.build_helpers(1)) == []
+        assert list(paper_example.build_helped(1)) == [(0, 28.0)]
+
+    def test_total_base_runtime_weights(self):
+        instance = ProblemInstance(
+            indexes=[IndexDef(0, "a", 1.0)],
+            queries=[
+                QueryDef(0, "q0", base_runtime=10.0, weight=2.0),
+                QueryDef(1, "q1", base_runtime=5.0, weight=1.0),
+            ],
+            plans=[],
+        )
+        assert instance.total_base_runtime == pytest.approx(25.0)
+
+    def test_build_cost_without_helper(self, paper_example):
+        assert paper_example.build_cost(0, built=set()) == pytest.approx(40.0)
+
+    def test_build_cost_with_helper(self, paper_example):
+        assert paper_example.build_cost(0, built={1}) == pytest.approx(12.0)
+
+    def test_build_cost_accepts_any_iterable(self, paper_example):
+        assert paper_example.build_cost(0, built=[1]) == pytest.approx(12.0)
+
+    def test_build_cost_picks_best_helper(self):
+        instance = ProblemInstance(
+            indexes=[
+                IndexDef(0, "a", 100.0),
+                IndexDef(1, "b", 10.0),
+                IndexDef(2, "c", 10.0),
+            ],
+            queries=[QueryDef(0, "q", 1.0)],
+            plans=[],
+            build_interactions=[
+                BuildInteraction(0, 1, 20.0),
+                BuildInteraction(0, 2, 60.0),
+            ],
+        )
+        assert instance.build_cost(0, built={1, 2}) == pytest.approx(40.0)
+        assert instance.build_cost(0, built={1}) == pytest.approx(80.0)
+
+    def test_min_build_cost(self, paper_example):
+        assert paper_example.min_build_cost(0) == pytest.approx(12.0)
+        assert paper_example.min_build_cost(1) == pytest.approx(70.0)
+
+    def test_total_create_cost(self, paper_example):
+        assert paper_example.total_create_cost() == pytest.approx(110.0)
+
+    def test_query_speedup_competing_interaction(self, paper_example):
+        # Best available plan wins; plans never sum (constraint 3).
+        assert paper_example.query_speedup(0, set()) == 0.0
+        assert paper_example.query_speedup(0, {0}) == pytest.approx(5.0)
+        assert paper_example.query_speedup(0, {1}) == pytest.approx(20.0)
+        assert paper_example.query_speedup(0, {0, 1}) == pytest.approx(20.0)
+
+    def test_query_speedup_join_interaction(self, join_example):
+        # Neither index alone gives any speedup (query interaction).
+        assert join_example.query_speedup(0, {0}) == 0.0
+        assert join_example.query_speedup(0, {1}) == 0.0
+        assert join_example.query_speedup(0, {0, 1}) == pytest.approx(150.0)
+
+    def test_total_runtime(self, tiny3):
+        assert tiny3.total_runtime(set()) == pytest.approx(120.0)
+        assert tiny3.total_runtime({0}) == pytest.approx(108.0)
+        assert tiny3.total_runtime({0, 1, 2}) == pytest.approx(90.0)
+
+    def test_interaction_counts(self, join_example):
+        counts = join_example.interaction_counts()
+        assert counts["queries"] == 1
+        assert counts["indexes"] == 2
+        assert counts["plans"] == 1
+        assert counts["largest_plan"] == 2
+        assert counts["query_interactions"] == 1
+        assert counts["build_interactions"] == 0
+
+    def test_repr(self, tiny3):
+        assert "tiny3" in repr(tiny3)
+
+
+# ----------------------------------------------------------------------
+# Instance surgery
+# ----------------------------------------------------------------------
+class TestRestrictToIndexes:
+    def test_renumbers_densely(self, tiny3):
+        sub = tiny3.restrict_to_indexes([0, 2])
+        assert sub.n_indexes == 2
+        assert [ix.name for ix in sub.indexes] == ["a", "c"]
+        assert [ix.index_id for ix in sub.indexes] == [0, 1]
+
+    def test_drops_plans_referencing_removed(self, tiny3):
+        sub = tiny3.restrict_to_indexes([0, 2])
+        assert sub.n_plans == 2
+        assert all(
+            member < sub.n_indexes for p in sub.plans for member in p.indexes
+        )
+
+    def test_keeps_queries(self, tiny3):
+        sub = tiny3.restrict_to_indexes([0])
+        assert sub.n_queries == tiny3.n_queries
+        assert sub.total_base_runtime == pytest.approx(
+            tiny3.total_base_runtime
+        )
+
+    def test_keeps_surviving_interactions(self, paper_example):
+        sub = paper_example.restrict_to_indexes([0, 1])
+        assert len(sub.build_interactions) == 1
+        sub_without = paper_example.restrict_to_indexes([0])
+        assert len(sub_without.build_interactions) == 0
+
+    def test_precedences_remapped(self, precedence_example):
+        sub = precedence_example.restrict_to_indexes([0, 2])
+        assert len(sub.precedences) == 1
+        rule = sub.precedences[0]
+        assert (rule.before, rule.after) == (0, 1)
+
+    def test_default_name(self, tiny3):
+        assert tiny3.restrict_to_indexes([0]).name == "tiny3[1]"
+
+
+class TestWithPlans:
+    def test_plan_ids_renumbered(self, tiny3):
+        shuffled = [tiny3.plans[2], tiny3.plans[0]]
+        replaced = tiny3.with_plans(shuffled)
+        assert [p.plan_id for p in replaced.plans] == [0, 1]
+        assert replaced.n_plans == 2
+
+    def test_indexes_untouched(self, tiny3):
+        replaced = tiny3.with_plans(list(tiny3.plans))
+        assert replaced.indexes == tiny3.indexes
+
+
+class TestWithBuildInteractions:
+    def test_replaces_interactions(self, paper_example):
+        stripped = paper_example.with_build_interactions([])
+        assert len(stripped.build_interactions) == 0
+        assert stripped.min_build_cost(0) == pytest.approx(40.0)
+
+
+class TestWithoutInteractions:
+    def test_all_plans_become_singletons(self, join_example):
+        flat = join_example.without_interactions()
+        assert all(len(p.indexes) == 1 for p in flat.plans)
+
+    def test_speedup_split_evenly(self, join_example):
+        flat = join_example.without_interactions()
+        # 150 split over the 2-index plan -> 75 each.
+        speedups = sorted(p.speedup for p in flat.plans)
+        assert speedups == [pytest.approx(75.0), pytest.approx(75.0)]
+
+    def test_build_interactions_dropped(self, paper_example):
+        flat = paper_example.without_interactions()
+        assert len(flat.build_interactions) == 0
+
+    def test_keeps_best_share_per_index(self):
+        instance = ProblemInstance(
+            indexes=[IndexDef(0, "a", 1.0), IndexDef(1, "b", 1.0)],
+            queries=[QueryDef(0, "q", 100.0)],
+            plans=[
+                PlanDef(0, 0, frozenset({0}), 30.0),
+                PlanDef(1, 0, frozenset({0, 1}), 40.0),  # share 20 each
+            ],
+        )
+        flat = instance.without_interactions()
+        by_index = {next(iter(p.indexes)): p.speedup for p in flat.plans}
+        assert by_index[0] == pytest.approx(30.0)  # 30 > 20
+        assert by_index[1] == pytest.approx(20.0)

@@ -1,0 +1,322 @@
+"""Unit tests for the objective evaluators (Section 4.1/4.3 semantics)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.instance import (
+    BuildInteraction,
+    IndexDef,
+    PlanDef,
+    ProblemInstance,
+    QueryDef,
+)
+from repro.core.objective import (
+    ObjectiveEvaluator,
+    PrefixCachedEvaluator,
+    normalized_objective,
+)
+from repro.errors import ValidationError
+
+from tests.conftest import make_paper_example, make_tiny3, small_synthetic
+
+
+# ----------------------------------------------------------------------
+# Hand-computed objective values
+# ----------------------------------------------------------------------
+class TestEvaluateByHand:
+    def test_paper_example_good_order(self, paper_example):
+        # i1 first (cost 70, runtime 100), then i0 with the helper
+        # (cost 40 - 28 = 12, runtime 100 - 20 = 80).
+        evaluator = ObjectiveEvaluator(paper_example)
+        assert evaluator.evaluate([1, 0]) == pytest.approx(
+            100.0 * 70.0 + 80.0 * 12.0
+        )
+
+    def test_paper_example_bad_order(self, paper_example):
+        # i0 first (cost 40, runtime 100), then i1 (cost 70, runtime 95).
+        evaluator = ObjectiveEvaluator(paper_example)
+        assert evaluator.evaluate([0, 1]) == pytest.approx(
+            100.0 * 40.0 + 95.0 * 70.0
+        )
+
+    def test_good_order_wins(self, paper_example):
+        evaluator = ObjectiveEvaluator(paper_example)
+        assert evaluator.evaluate([1, 0]) < evaluator.evaluate([0, 1])
+
+    def test_join_example_symmetric(self, join_example):
+        # Neither order unlocks the plan before the second build, so both
+        # orders pay full runtime during deployment.
+        evaluator = ObjectiveEvaluator(join_example)
+        assert evaluator.evaluate([0, 1]) == pytest.approx(
+            200.0 * 30.0 + 200.0 * 50.0
+        )
+        assert evaluator.evaluate([0, 1]) == pytest.approx(
+            evaluator.evaluate([1, 0])
+        )
+
+    def test_tiny3_density_order_optimal(self, tiny3):
+        # With independent singleton plans, descending density is optimal.
+        evaluator = ObjectiveEvaluator(tiny3)
+        best = min(
+            itertools.permutations(range(3)), key=evaluator.evaluate
+        )
+        assert best == (2, 0, 1)
+
+    def test_query_weight_scales_runtime(self):
+        instance = ProblemInstance(
+            indexes=[IndexDef(0, "a", 10.0)],
+            queries=[QueryDef(0, "q", base_runtime=50.0, weight=3.0)],
+            plans=[PlanDef(0, 0, frozenset({0}), 20.0)],
+        )
+        evaluator = ObjectiveEvaluator(instance)
+        # R0 = 150, one step of cost 10.
+        assert evaluator.evaluate([0]) == pytest.approx(1500.0)
+
+
+class TestCheckOrder:
+    def test_rejects_short_order(self, tiny3):
+        with pytest.raises(ValidationError):
+            ObjectiveEvaluator(tiny3).evaluate([0, 1])
+
+    def test_rejects_duplicates(self, tiny3):
+        with pytest.raises(ValidationError):
+            ObjectiveEvaluator(tiny3).evaluate([0, 1, 1])
+
+    def test_rejects_out_of_range(self, tiny3):
+        with pytest.raises(ValidationError):
+            ObjectiveEvaluator(tiny3).evaluate([0, 1, 9])
+
+
+# ----------------------------------------------------------------------
+# Prefix evaluation
+# ----------------------------------------------------------------------
+class TestEvaluatePrefix:
+    def test_empty_prefix(self, tiny3):
+        objective, runtime, elapsed = ObjectiveEvaluator(
+            tiny3
+        ).evaluate_prefix([])
+        assert objective == 0.0
+        assert runtime == pytest.approx(tiny3.total_base_runtime)
+        assert elapsed == 0.0
+
+    def test_full_prefix_matches_evaluate(self, paper_example):
+        evaluator = ObjectiveEvaluator(paper_example)
+        objective, runtime, elapsed = evaluator.evaluate_prefix([1, 0])
+        assert objective == pytest.approx(evaluator.evaluate([1, 0]))
+        assert runtime == pytest.approx(80.0)
+        assert elapsed == pytest.approx(82.0)  # 70 + 12
+
+    def test_prefix_is_monotone_in_objective(self, tiny3):
+        evaluator = ObjectiveEvaluator(tiny3)
+        last = 0.0
+        for length in range(1, 4):
+            objective, _, _ = evaluator.evaluate_prefix([2, 0, 1][:length])
+            assert objective >= last
+            last = objective
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+class TestSchedule:
+    def test_steps_cover_order(self, tiny3):
+        schedule = ObjectiveEvaluator(tiny3).schedule([2, 0, 1])
+        assert schedule.order == (2, 0, 1)
+        assert [s.index_id for s in schedule.steps] == [2, 0, 1]
+        assert [s.position for s in schedule.steps] == [1, 2, 3]
+
+    def test_objective_equals_sum_of_step_areas(self, paper_example):
+        schedule = ObjectiveEvaluator(paper_example).schedule([1, 0])
+        assert schedule.objective == pytest.approx(
+            sum(step.area for step in schedule.steps)
+        )
+
+    def test_step_times_chain(self, paper_example):
+        schedule = ObjectiveEvaluator(paper_example).schedule([1, 0])
+        first, second = schedule.steps
+        assert first.start_time == 0.0
+        assert second.start_time == pytest.approx(first.finish_time)
+
+    def test_helper_reported(self, paper_example):
+        schedule = ObjectiveEvaluator(paper_example).schedule([1, 0])
+        step = schedule.steps[1]
+        assert step.helper_id == 1
+        assert step.saving == pytest.approx(28.0)
+        assert step.build_cost == pytest.approx(12.0)
+
+    def test_no_helper_when_built_late(self, paper_example):
+        schedule = ObjectiveEvaluator(paper_example).schedule([0, 1])
+        assert schedule.steps[0].helper_id is None
+        assert schedule.steps[0].saving == 0.0
+
+    def test_total_deploy_time(self, paper_example):
+        schedule = ObjectiveEvaluator(paper_example).schedule([1, 0])
+        assert schedule.total_deploy_time == pytest.approx(82.0)
+
+    def test_final_runtime(self, paper_example):
+        schedule = ObjectiveEvaluator(paper_example).schedule([1, 0])
+        assert schedule.final_runtime == pytest.approx(80.0)
+
+    def test_total_build_saving(self, paper_example):
+        good = ObjectiveEvaluator(paper_example).schedule([1, 0])
+        bad = ObjectiveEvaluator(paper_example).schedule([0, 1])
+        assert good.total_build_saving() == pytest.approx(28.0)
+        assert bad.total_build_saving() == 0.0
+
+    def test_average_runtime_identity(self, paper_example):
+        schedule = ObjectiveEvaluator(paper_example).schedule([1, 0])
+        assert schedule.average_runtime_during_deployment == pytest.approx(
+            schedule.objective / schedule.total_deploy_time
+        )
+
+    def test_improvement_curve_endpoints(self, paper_example):
+        schedule = ObjectiveEvaluator(paper_example).schedule([1, 0])
+        curve = schedule.improvement_curve()
+        assert curve[0] == (0.0, pytest.approx(100.0))
+        assert curve[-1][0] == pytest.approx(schedule.total_deploy_time)
+        assert curve[-1][1] == pytest.approx(schedule.final_runtime)
+
+    def test_improvement_curve_area_equals_objective(self, tiny3):
+        schedule = ObjectiveEvaluator(tiny3).schedule([1, 2, 0])
+        curve = schedule.improvement_curve()
+        area = 0.0
+        for (t0, _), (t1, r1_prev) in zip(curve[1:], curve):
+            pass  # placeholder to keep zip shape obvious below
+        area = sum(
+            (t1 - t0) * r0
+            for (t0, r0), (t1, _) in zip(curve, curve[1:])
+        )
+        assert area == pytest.approx(schedule.objective)
+
+    def test_runtime_monotone_nonincreasing(self, tiny3):
+        schedule = ObjectiveEvaluator(tiny3).schedule([0, 1, 2])
+        runtimes = [schedule.steps[0].runtime_before] + [
+            s.runtime_after for s in schedule.steps
+        ]
+        assert runtimes == sorted(runtimes, reverse=True)
+
+
+# ----------------------------------------------------------------------
+# Prefix-cached evaluator
+# ----------------------------------------------------------------------
+class TestPrefixCachedEvaluator:
+    def test_matches_reference_on_base(self, paper_example):
+        cached = PrefixCachedEvaluator(paper_example)
+        reference = ObjectiveEvaluator(paper_example)
+        assert cached.set_base([1, 0]) == pytest.approx(
+            reference.evaluate([1, 0])
+        )
+
+    def test_matches_reference_on_all_permutations(self):
+        instance = small_synthetic(seed=11, n=6)
+        reference = ObjectiveEvaluator(instance)
+        cached = PrefixCachedEvaluator(instance, checkpoint_stride=2)
+        base = list(range(6))
+        cached.set_base(base)
+        for order in itertools.permutations(range(6)):
+            assert cached.evaluate(order) == pytest.approx(
+                reference.evaluate(order)
+            )
+
+    def test_evaluate_before_set_base_falls_back(self, tiny3):
+        cached = PrefixCachedEvaluator(tiny3)
+        reference = ObjectiveEvaluator(tiny3)
+        assert cached.evaluate([2, 1, 0]) == pytest.approx(
+            reference.evaluate([2, 1, 0])
+        )
+
+    def test_identical_order_returns_base_objective(self, tiny3):
+        cached = PrefixCachedEvaluator(tiny3)
+        base_objective = cached.set_base([0, 1, 2])
+        assert cached.evaluate([0, 1, 2]) == pytest.approx(base_objective)
+
+    def test_evaluate_swap(self):
+        instance = small_synthetic(seed=3, n=7)
+        cached = PrefixCachedEvaluator(instance, checkpoint_stride=3)
+        reference = ObjectiveEvaluator(instance)
+        base = [3, 1, 4, 0, 6, 2, 5]
+        cached.set_base(base)
+        for pos_a in range(7):
+            for pos_b in range(pos_a + 1, 7):
+                swapped = base[:]
+                swapped[pos_a], swapped[pos_b] = swapped[pos_b], swapped[pos_a]
+                assert cached.evaluate_swap(pos_a, pos_b) == pytest.approx(
+                    reference.evaluate(swapped)
+                )
+
+    def test_swap_same_position_is_base(self, tiny3):
+        cached = PrefixCachedEvaluator(tiny3)
+        base_objective = cached.set_base([0, 1, 2])
+        assert cached.evaluate_swap(1, 1) == pytest.approx(base_objective)
+
+    def test_swap_requires_base(self, tiny3):
+        cached = PrefixCachedEvaluator(tiny3)
+        with pytest.raises(ValidationError):
+            cached.evaluate_swap(0, 1)
+
+    def test_wrong_length_rejected(self, tiny3):
+        cached = PrefixCachedEvaluator(tiny3)
+        cached.set_base([0, 1, 2])
+        with pytest.raises(ValidationError):
+            cached.evaluate([0, 1])
+
+    def test_invalid_stride_rejected(self, tiny3):
+        with pytest.raises(ValidationError):
+            PrefixCachedEvaluator(tiny3, checkpoint_stride=0)
+
+    def test_evaluation_counter(self, tiny3):
+        cached = PrefixCachedEvaluator(tiny3)
+        cached.set_base([0, 1, 2])
+        cached.evaluate([0, 2, 1])
+        assert cached.evaluations == 2
+
+    def test_base_order_property(self, tiny3):
+        cached = PrefixCachedEvaluator(tiny3)
+        assert cached.base_order is None
+        cached.set_base([2, 1, 0])
+        assert cached.base_order == (2, 1, 0)
+
+
+# ----------------------------------------------------------------------
+# Lower bound and normalization
+# ----------------------------------------------------------------------
+class TestLowerBound:
+    def test_suffix_bound_is_admissible(self):
+        instance = small_synthetic(seed=5, n=6)
+        evaluator = ObjectiveEvaluator(instance)
+        for order in itertools.permutations(range(6)):
+            for split in range(6):
+                prefix = list(order[:split])
+                objective, _, _ = evaluator.evaluate_prefix(prefix)
+                bound = evaluator.lower_bound_suffix(
+                    set(prefix), set(order[split:])
+                )
+                total = evaluator.evaluate(list(order))
+                assert objective + bound <= total + 1e-6
+
+
+class TestNormalizedObjective:
+    def test_range(self, paper_example):
+        evaluator = ObjectiveEvaluator(paper_example)
+        worst_rectangle = (
+            paper_example.total_base_runtime
+            * paper_example.total_create_cost()
+        )
+        value = normalized_objective(
+            paper_example, evaluator.evaluate([1, 0])
+        )
+        assert 0.0 < value < 100.0
+        assert value == pytest.approx(
+            100.0 * evaluator.evaluate([1, 0]) / worst_rectangle
+        )
+
+    def test_zero_for_degenerate_instance(self):
+        instance = ProblemInstance(
+            indexes=[IndexDef(0, "a", 1.0)],
+            queries=[QueryDef(0, "q", 0.0)],
+            plans=[],
+        )
+        assert normalized_objective(instance, 0.0) == 0.0

@@ -1,0 +1,122 @@
+"""Unit tests for matrix-file serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.serialization import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    save_instance,
+)
+from repro.errors import ValidationError
+
+from tests.conftest import (
+    make_paper_example,
+    make_precedence_example,
+    small_synthetic,
+)
+
+
+def assert_instances_equal(a, b):
+    assert a.name == b.name
+    assert a.indexes == b.indexes
+    assert a.queries == b.queries
+    assert a.plans == b.plans
+    assert a.build_interactions == b.build_interactions
+    assert a.precedences == b.precedences
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_paper_example(self):
+        instance = make_paper_example()
+        again = instance_from_dict(instance_to_dict(instance))
+        assert_instances_equal(instance, again)
+
+    def test_dict_roundtrip_with_precedences(self):
+        instance = make_precedence_example()
+        again = instance_from_dict(instance_to_dict(instance))
+        assert_instances_equal(instance, again)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_dict_roundtrip_synthetic(self, seed):
+        instance = small_synthetic(seed=seed, n=8, precedence_rate=5.0)
+        again = instance_from_dict(instance_to_dict(instance))
+        assert_instances_equal(instance, again)
+
+    def test_file_roundtrip(self, tmp_path):
+        instance = make_paper_example()
+        path = tmp_path / "matrix.json"
+        save_instance(instance, path)
+        again = load_instance(path)
+        assert_instances_equal(instance, again)
+
+    def test_file_is_json(self, tmp_path):
+        path = tmp_path / "matrix.json"
+        save_instance(make_paper_example(), path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-matrix"
+        assert data["version"] == 1
+
+    def test_serialized_dict_is_json_safe(self):
+        payload = instance_to_dict(small_synthetic(seed=4, n=6))
+        json.dumps(payload)  # must not raise
+
+    def test_plan_indexes_sorted_for_stable_diffs(self):
+        payload = instance_to_dict(make_paper_example())
+        for plan in payload["plans"]:
+            assert plan["indexes"] == sorted(plan["indexes"])
+
+
+class TestMalformedInput:
+    def test_wrong_format_marker(self):
+        with pytest.raises(ValidationError, match="format"):
+            instance_from_dict({"format": "other", "version": 1})
+
+    def test_not_a_dict(self):
+        with pytest.raises(ValidationError):
+            instance_from_dict([1, 2, 3])
+
+    def test_wrong_version(self):
+        payload = instance_to_dict(make_paper_example())
+        payload["version"] = 99
+        with pytest.raises(ValidationError, match="version"):
+            instance_from_dict(payload)
+
+    def test_missing_field(self):
+        payload = instance_to_dict(make_paper_example())
+        del payload["indexes"][0]["create_cost"]
+        with pytest.raises(ValidationError, match="malformed"):
+            instance_from_dict(payload)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{ not json")
+        with pytest.raises(ValidationError, match="invalid JSON"):
+            load_instance(path)
+
+    def test_defaults_for_optional_sections(self):
+        payload = instance_to_dict(make_paper_example())
+        del payload["build_interactions"]
+        del payload["precedences"]
+        instance = instance_from_dict(payload)
+        assert instance.build_interactions == ()
+        assert instance.precedences == ()
+
+
+class TestShippedDataFiles:
+    """The checked-in TPC-H/TPC-DS matrix files must stay loadable."""
+
+    @pytest.mark.parametrize("stem", ["tpch", "tpcds"])
+    def test_data_file_loads(self, stem):
+        from repro.workloads.extracted import DATA_DIR
+
+        path = DATA_DIR / f"{stem}.json"
+        if not path.exists():
+            pytest.skip(f"{path} not materialized")
+        instance = load_instance(path)
+        assert instance.n_indexes > 0
+        assert instance.n_plans > 0

@@ -1,0 +1,99 @@
+"""Unit tests for Solution, SolveResult, and AnytimeTrace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.solution import AnytimeTrace, Solution, SolveResult, SolveStatus
+from repro.errors import ValidationError
+
+
+class TestSolution:
+    def test_from_order_evaluates(self, paper_example):
+        solution = Solution.from_order(paper_example, [1, 0])
+        assert solution.order == (1, 0)
+        assert solution.objective == pytest.approx(
+            ObjectiveEvaluator(paper_example).evaluate([1, 0])
+        )
+
+    def test_validate_against_passes(self, paper_example):
+        solution = Solution.from_order(paper_example, [0, 1])
+        solution.validate_against(paper_example)  # must not raise
+
+    def test_validate_against_detects_mismatch(self, paper_example):
+        solution = Solution((0, 1), objective=1.0)
+        with pytest.raises(ValidationError):
+            solution.validate_against(paper_example)
+
+    def test_frozen(self, paper_example):
+        solution = Solution.from_order(paper_example, [0, 1])
+        with pytest.raises(Exception):
+            solution.objective = 0.0
+
+
+class TestSolveResult:
+    def _result(self, solution, status=SolveStatus.FEASIBLE):
+        return SolveResult(
+            solver="test", status=status, solution=solution, runtime=0.5
+        )
+
+    def test_objective_none_without_solution(self):
+        assert self._result(None).objective is None
+
+    def test_objective_with_solution(self, paper_example):
+        solution = Solution.from_order(paper_example, [1, 0])
+        assert self._result(solution).objective == solution.objective
+
+    def test_proved_optimal(self, paper_example):
+        solution = Solution.from_order(paper_example, [1, 0])
+        assert self._result(solution, SolveStatus.OPTIMAL).proved_optimal
+        assert not self._result(solution).proved_optimal
+
+    def test_describe_mentions_solver_and_status(self, paper_example):
+        solution = Solution.from_order(paper_example, [1, 0])
+        text = self._result(solution).describe()
+        assert "test" in text
+        assert "feasible" in text
+
+    def test_describe_without_solution(self):
+        text = self._result(None, SolveStatus.DID_NOT_FINISH).describe()
+        assert "did_not_finish" in text
+        assert "obj=-" in text
+
+
+class TestSolveStatus:
+    def test_values_are_distinct(self):
+        values = {status.value for status in SolveStatus}
+        assert len(values) == len(SolveStatus)
+
+
+class TestAnytimeTrace:
+    def test_record_with_explicit_elapsed(self):
+        trace = AnytimeTrace()
+        trace.record(100.0, elapsed=1.0)
+        trace.record(90.0, elapsed=2.0)
+        assert trace.events == [(1.0, 100.0), (2.0, 90.0)]
+
+    def test_record_with_clock(self):
+        trace = AnytimeTrace(clock=0.0)
+        trace.record(5.0)
+        (elapsed, objective), = trace.events
+        assert objective == 5.0
+        assert elapsed > 0.0
+
+    def test_objective_at_returns_best_known(self):
+        trace = AnytimeTrace()
+        trace.record(100.0, elapsed=1.0)
+        trace.record(80.0, elapsed=3.0)
+        assert trace.objective_at(0.5) is None
+        assert trace.objective_at(1.0) == 100.0
+        assert trace.objective_at(2.9) == 100.0
+        assert trace.objective_at(3.0) == 80.0
+        assert trace.objective_at(100.0) == 80.0
+
+    def test_events_returns_copy(self):
+        trace = AnytimeTrace()
+        trace.record(1.0, elapsed=0.1)
+        trace.events.append((9.9, 9.9))
+        assert len(trace.events) == 1

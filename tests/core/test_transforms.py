@@ -1,0 +1,99 @@
+"""Unit tests for the Section-4.4 objective-variant transforms."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.transforms import deploy_time_variant, reweighted_variant
+from repro.errors import ValidationError
+from repro.solvers.exhaustive import ExhaustiveSolver
+
+from tests.conftest import make_paper_example, small_synthetic
+
+
+class TestDeployTimeVariant:
+    def test_objective_equals_deploy_time(self, paper_example):
+        variant = deploy_time_variant(paper_example)
+        evaluator = ObjectiveEvaluator(variant)
+        reference = ObjectiveEvaluator(paper_example)
+        for order in itertools.permutations(range(2)):
+            schedule = reference.schedule(list(order))
+            assert evaluator.evaluate(list(order)) == pytest.approx(
+                schedule.total_deploy_time
+            )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_objective_equals_deploy_time_synthetic(self, seed):
+        instance = small_synthetic(seed=seed, n=6, build_interaction_rate=2.0)
+        variant = deploy_time_variant(instance)
+        evaluator = ObjectiveEvaluator(variant)
+        reference = ObjectiveEvaluator(instance)
+        for order in itertools.permutations(range(6)):
+            assert evaluator.evaluate(list(order)) == pytest.approx(
+                reference.schedule(list(order)).total_deploy_time
+            )
+
+    def test_optimal_order_maximizes_build_savings(self, paper_example):
+        # On the paper example the only deploy-time lever is building
+        # the wide index before the narrow one.
+        variant = deploy_time_variant(paper_example)
+        result = ExhaustiveSolver().solve(variant)
+        assert result.solution.order == (1, 0)
+        assert result.solution.objective == pytest.approx(70.0 + 12.0)
+
+    def test_precedences_preserved(self):
+        instance = small_synthetic(seed=1, n=6, precedence_rate=5.0)
+        variant = deploy_time_variant(instance)
+        assert variant.precedences == instance.precedences
+
+    def test_solvers_run_on_variant(self):
+        from repro.solvers.greedy import GreedySolver
+
+        instance = small_synthetic(seed=2, n=8, build_interaction_rate=2.0)
+        variant = deploy_time_variant(instance)
+        result = GreedySolver().solve(variant)
+        result.solution.validate_against(variant)
+
+
+class TestReweightedVariant:
+    def test_scales_weights(self, tiny3):
+        variant = reweighted_variant(tiny3, {"q0": 3.0})
+        assert variant.queries[0].weight == pytest.approx(3.0)
+        assert variant.queries[1].weight == pytest.approx(1.0)
+
+    def test_default_factor(self, tiny3):
+        variant = reweighted_variant(tiny3, {}, default=2.0)
+        assert all(q.weight == pytest.approx(2.0) for q in variant.queries)
+
+    def test_unknown_query_rejected(self, tiny3):
+        with pytest.raises(ValidationError, match="unknown"):
+            reweighted_variant(tiny3, {"ghost": 2.0})
+
+    def test_nonpositive_factor_rejected(self, tiny3):
+        with pytest.raises(ValidationError):
+            reweighted_variant(tiny3, {"q0": 0.0})
+        with pytest.raises(ValidationError):
+            reweighted_variant(tiny3, {}, default=-1.0)
+
+    def test_weight_shifts_the_optimum(self):
+        # Upweighting the slow query's only beneficiary must pull its
+        # index earlier in the optimal order.
+        from tests.conftest import make_tiny3
+        from tests.conftest import brute_force_best
+
+        base = make_tiny3()
+        best_base, _ = brute_force_best(base)
+        heavy = reweighted_variant(base, {"q1": 50.0})
+        best_heavy, _ = brute_force_best(heavy)
+        # Index 1 serves q1; it must move to the front under the weight.
+        assert best_heavy.index(1) < best_base.index(1)
+
+    def test_objective_scales_linearly_for_uniform_weights(self, tiny3):
+        variant = reweighted_variant(tiny3, {}, default=4.0)
+        order = [2, 0, 1]
+        assert ObjectiveEvaluator(variant).evaluate(order) == pytest.approx(
+            4.0 * ObjectiveEvaluator(tiny3).evaluate(order)
+        )

@@ -1,0 +1,134 @@
+"""Unit tests for semantic instance/solution validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import (
+    IndexDef,
+    PlanDef,
+    PrecedenceRule,
+    ProblemInstance,
+    QueryDef,
+)
+from repro.core.validation import (
+    check_order_feasible,
+    check_precedence_feasibility,
+    lint_instance,
+)
+from repro.errors import InfeasibleError, ValidationError
+
+from tests.conftest import make_paper_example, make_precedence_example
+
+
+def _instance(plans, indexes=None, precedences=()):
+    indexes = indexes or [
+        IndexDef(0, "a", 1.0),
+        IndexDef(1, "b", 1.0),
+        IndexDef(2, "c", 1.0),
+    ]
+    return ProblemInstance(
+        indexes=indexes,
+        queries=[QueryDef(0, "q", 100.0)],
+        plans=plans,
+        precedences=precedences,
+    )
+
+
+class TestLint:
+    def test_clean_instance_has_no_warnings(self):
+        instance = _instance(
+            [
+                PlanDef(0, 0, frozenset({0}), 10.0),
+                PlanDef(1, 0, frozenset({1}), 20.0),
+                PlanDef(2, 0, frozenset({2}), 30.0),
+            ]
+        )
+        assert lint_instance(instance) == []
+
+    def test_duplicate_plan_flagged(self):
+        instance = _instance(
+            [
+                PlanDef(0, 0, frozenset({0}), 10.0),
+                PlanDef(1, 0, frozenset({0}), 12.0),
+                PlanDef(2, 0, frozenset({1}), 1.0),
+                PlanDef(3, 0, frozenset({2}), 1.0),
+            ]
+        )
+        assert any("duplicate plan" in w for w in lint_instance(instance))
+
+    def test_dominated_plan_flagged(self):
+        instance = _instance(
+            [
+                PlanDef(0, 0, frozenset({0}), 10.0),
+                PlanDef(1, 0, frozenset({0, 1}), 5.0),  # superset, worse
+                PlanDef(2, 0, frozenset({2}), 1.0),
+            ]
+        )
+        assert any("dominated" in w for w in lint_instance(instance))
+
+    def test_useless_index_flagged(self):
+        instance = _instance(
+            [
+                PlanDef(0, 0, frozenset({0}), 10.0),
+                PlanDef(1, 0, frozenset({1}), 20.0),
+            ]
+        )
+        warnings = lint_instance(instance)
+        assert any("index 2" in w and "overhead" in w for w in warnings)
+
+    def test_paper_example_clean(self):
+        assert lint_instance(make_paper_example()) == []
+
+
+class TestPrecedenceFeasibility:
+    def test_acyclic_ok(self):
+        check_precedence_feasibility(make_precedence_example())
+
+    def test_cycle_detected(self):
+        instance = _instance(
+            [PlanDef(0, 0, frozenset({0}), 1.0),
+             PlanDef(1, 0, frozenset({1}), 1.0),
+             PlanDef(2, 0, frozenset({2}), 1.0)],
+            precedences=[
+                PrecedenceRule(0, 1),
+                PrecedenceRule(1, 2),
+                PrecedenceRule(2, 0),
+            ],
+        )
+        with pytest.raises(InfeasibleError, match="cycle"):
+            check_precedence_feasibility(instance)
+
+    def test_two_node_cycle_detected(self):
+        instance = _instance(
+            [PlanDef(0, 0, frozenset({0}), 1.0),
+             PlanDef(1, 0, frozenset({1}), 1.0),
+             PlanDef(2, 0, frozenset({2}), 1.0)],
+            precedences=[PrecedenceRule(0, 1), PrecedenceRule(1, 0)],
+        )
+        with pytest.raises(InfeasibleError):
+            check_precedence_feasibility(instance)
+
+
+class TestOrderFeasibility:
+    def test_valid_order_passes(self):
+        instance = make_precedence_example()
+        check_order_feasible(instance, [0, 1, 2])
+        check_order_feasible(instance, [0, 2, 1])
+
+    def test_precedence_violation_rejected(self):
+        instance = make_precedence_example()
+        with pytest.raises(ValidationError, match="precedence"):
+            check_order_feasible(instance, [1, 0, 2])
+
+    def test_violation_message_includes_reason(self):
+        instance = make_precedence_example()
+        with pytest.raises(ValidationError, match="clustered first"):
+            check_order_feasible(instance, [2, 0, 1])
+
+    def test_non_permutation_rejected(self):
+        instance = make_precedence_example()
+        with pytest.raises(ValidationError, match="permutation"):
+            check_order_feasible(instance, [0, 1])
+        with pytest.raises(ValidationError, match="permutation"):
+            check_order_feasible(instance, [0, 1, 1])

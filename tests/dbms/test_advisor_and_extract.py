@@ -1,0 +1,223 @@
+"""Unit tests for the index advisor and the instance extractor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.validation import lint_instance
+from repro.dbms.advisor import AdvisorConfig, IndexAdvisor, generate_candidates
+from repro.dbms.catalog import Catalog
+from repro.dbms.extract import ExtractionConfig, InstanceExtractor
+from repro.dbms.query import JoinEdge, Predicate, PredicateOp, Query, Workload
+from repro.dbms.schema import Column, IndexSpec, Table
+from repro.errors import CatalogError
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    cat = Catalog()
+    cat.add_table(
+        Table(
+            "customer",
+            [
+                Column("custid", width=8, distinct=300_000),
+                Column("country", width=8, distinct=150),
+                Column("segment", width=8, distinct=5),
+                Column("balance", width=8, distinct=50_000),
+            ],
+            row_count=300_000,
+        )
+    )
+    cat.add_table(
+        Table(
+            "orders",
+            [
+                Column("orderid", width=8, distinct=1_500_000),
+                Column("custid", width=8, distinct=300_000),
+                Column("total", width=8, distinct=100_000),
+                Column("status", width=4, distinct=3),
+            ],
+            row_count=1_500_000,
+        )
+    )
+    return cat
+
+
+@pytest.fixture
+def workload(catalog) -> Workload:
+    return Workload(
+        "shop",
+        [
+            Query(
+                "by_country",
+                tables=["customer"],
+                predicates=[
+                    Predicate("customer", "country", PredicateOp.EQ)
+                ],
+                select=[("customer", "balance")],
+            ),
+            Query(
+                "orders_of_segment",
+                tables=["customer", "orders"],
+                predicates=[
+                    Predicate("customer", "segment", PredicateOp.EQ),
+                    Predicate("orders", "status", PredicateOp.EQ),
+                ],
+                joins=[JoinEdge("customer", "custid", "orders", "custid")],
+                select=[("orders", "total")],
+            ),
+        ],
+    )
+
+
+class TestGenerateCandidates:
+    def test_candidates_reference_real_columns(self, catalog, workload):
+        candidates = generate_candidates(catalog, workload)
+        assert candidates
+        for spec in candidates:
+            table = catalog.table(spec.table)
+            for column in spec.all_columns:
+                assert table.has_column(column)
+
+    def test_key_only_and_covering_variants(self, catalog, workload):
+        candidates = generate_candidates(catalog, workload)
+        on_customer = [c for c in candidates if c.table == "customer"]
+        keys = {c.key_columns for c in on_customer}
+        assert ("country",) in keys
+        covering = [
+            c
+            for c in on_customer
+            if c.key_columns == ("country",) and c.include_columns
+        ]
+        assert covering  # at least one covering variant
+
+    def test_join_probe_candidate(self, catalog, workload):
+        candidates = generate_candidates(catalog, workload)
+        join_keyed = [
+            c
+            for c in candidates
+            if c.table == "orders" and c.key_columns[0] == "custid"
+        ]
+        assert join_keyed
+
+    def test_no_duplicates(self, catalog, workload):
+        candidates = generate_candidates(catalog, workload)
+        signatures = {
+            (c.table, c.key_columns, c.include_columns) for c in candidates
+        }
+        assert len(signatures) == len(candidates)
+
+    def test_max_key_columns_respected(self, catalog, workload):
+        config = AdvisorConfig(max_key_columns=1)
+        candidates = generate_candidates(catalog, workload, config)
+        assert all(len(c.key_columns) <= 1 for c in candidates)
+
+
+class TestIndexAdvisor:
+    def test_select_improves_workload(self, catalog, workload):
+        advisor = IndexAdvisor(catalog, workload)
+        selected = advisor.select()
+        assert selected
+        base = advisor._workload_cost([])
+        tuned = advisor._workload_cost([s.name for s in selected])
+        assert tuned < base
+
+    def test_max_indexes_budget(self, catalog, workload):
+        advisor = IndexAdvisor(
+            catalog, workload, AdvisorConfig(max_indexes=2)
+        )
+        assert len(advisor.select()) <= 2
+
+    def test_storage_budget(self, catalog, workload):
+        tight = AdvisorConfig(storage_budget_bytes=4 * 8192)
+        advisor = IndexAdvisor(catalog, workload, tight)
+        selected = advisor.select()
+        total = sum(
+            s.size_bytes(catalog.table(s.table)) for s in selected
+        )
+        assert total <= tight.storage_budget_bytes
+
+    def test_registers_candidates_as_hypothetical(self, catalog, workload):
+        advisor = IndexAdvisor(catalog, workload)
+        specs = advisor.register_candidates()
+        assert all(catalog.is_hypothetical(s.name) for s in specs)
+
+
+class TestInstanceExtractor:
+    def _extract(self, catalog, workload, **config):
+        advisor = IndexAdvisor(catalog, workload)
+        suggested = advisor.select()
+        extractor = InstanceExtractor(
+            catalog, workload, ExtractionConfig(**config)
+        )
+        return suggested, extractor.extract(suggested, name="shop")
+
+    def test_instance_shape(self, catalog, workload):
+        suggested, instance = self._extract(catalog, workload)
+        assert instance.n_indexes == len(suggested)
+        assert instance.n_queries == len(workload)
+        assert instance.n_plans > 0
+
+    def test_index_costs_positive(self, catalog, workload):
+        _, instance = self._extract(catalog, workload)
+        assert all(ix.create_cost > 0 for ix in instance.indexes)
+
+    def test_query_base_runtimes_match_whatif(self, catalog, workload):
+        _, instance = self._extract(catalog, workload)
+        assert all(q.base_runtime > 0 for q in instance.queries)
+
+    def test_plan_speedups_bounded_by_base(self, catalog, workload):
+        _, instance = self._extract(catalog, workload)
+        for plan in instance.plans:
+            base = instance.queries[plan.query_id].base_runtime
+            assert plan.speedup <= base + 1e-9
+
+    def test_unknown_suggested_index_raises(self, catalog, workload):
+        extractor = InstanceExtractor(catalog, workload)
+        ghost = IndexSpec("ghost", "customer", ("country",))
+        with pytest.raises(CatalogError):
+            extractor.extract([ghost])
+
+    def test_instance_lints_clean_enough(self, catalog, workload):
+        _, instance = self._extract(catalog, workload)
+        warnings = lint_instance(instance)
+        # Extraction must not produce duplicate or dominated plans.
+        assert not [w for w in warnings if "duplicate" in w]
+        assert not [w for w in warnings if "dominated" in w]
+
+    def test_build_interactions_within_table(self, catalog, workload):
+        _, instance = self._extract(catalog, workload)
+        names = {ix.index_id: ix.name for ix in instance.indexes}
+        spec_table = {
+            s.name: s.table
+            for s in catalog.indexes
+        }
+        for bi in instance.build_interactions:
+            assert (
+                spec_table[names[bi.target]] == spec_table[names[bi.helper]]
+            )
+
+    def test_clustered_precedence_rules(self, catalog, workload):
+        catalog.add_index(
+            IndexSpec(
+                "cx_customer",
+                "customer",
+                ("custid",),
+                clustered=True,
+            ),
+            hypothetical=True,
+        )
+        advisor = IndexAdvisor(catalog, workload)
+        suggested = advisor.select()
+        clustered = catalog.index("cx_customer")
+        if all(s.name != "cx_customer" for s in suggested):
+            suggested = list(suggested) + [clustered]
+        extractor = InstanceExtractor(catalog, workload)
+        instance = extractor.extract(suggested)
+        same_table = [
+            s
+            for s in suggested
+            if s.table == "customer" and s.name != "cx_customer"
+        ]
+        if same_table:
+            assert instance.precedences

@@ -1,0 +1,149 @@
+"""Unit tests for the row-level executor and estimator validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms.catalog import Catalog
+from repro.dbms.executor import DataStore, generate_rows
+from repro.dbms.query import JoinEdge, Predicate, PredicateOp, Query
+from repro.dbms.schema import Column, Table
+from repro.dbms.stats import filtered_rows
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    cat = Catalog()
+    cat.add_table(
+        Table(
+            "dim",
+            [
+                Column("dim_id", width=8, distinct=200),
+                Column("category", width=8, distinct=10),
+            ],
+            row_count=200,
+        )
+    )
+    cat.add_table(
+        Table(
+            "fact",
+            [
+                Column("fact_id", width=8, distinct=20_000),
+                Column("dim_id", width=8, distinct=200),
+                Column("value", width=8, distinct=1_000),
+            ],
+            row_count=20_000,
+        )
+    )
+    return cat
+
+
+class TestGenerateRows:
+    def test_shapes_and_ranges(self, catalog):
+        table = catalog.table("dim")
+        rows = generate_rows(table, seed=0)
+        assert set(rows) == {"dim_id", "category"}
+        assert len(rows["dim_id"]) == 200
+        assert rows["category"].min() >= 0
+        assert rows["category"].max() < 10
+
+    def test_max_rows_cap(self, catalog):
+        table = catalog.table("fact")
+        rows = generate_rows(table, seed=0, max_rows=500)
+        assert len(rows["fact_id"]) == 500
+
+    def test_deterministic(self, catalog):
+        table = catalog.table("dim")
+        first = generate_rows(table, seed=1)
+        second = generate_rows(table, seed=1)
+        assert (first["dim_id"] == second["dim_id"]).all()
+
+
+class TestDataStore:
+    def test_row_counts(self, catalog):
+        store = DataStore(catalog, seed=0, max_rows=5_000)
+        assert store.row_count("dim") == 200
+        assert store.row_count("fact") == 5_000
+
+    def test_unknown_table_raises(self, catalog):
+        store = DataStore(catalog, seed=0)
+        with pytest.raises(QueryError):
+            store.rows("ghost")
+
+    def test_filter_query(self, catalog):
+        store = DataStore(catalog, seed=0)
+        query = Query(
+            "cat",
+            tables=["dim"],
+            predicates=[Predicate("dim", "category", PredicateOp.EQ)],
+        )
+        result = store.execute(query)
+        assert result.rows_scanned == 200
+        assert 0 <= result.rows_out <= 200
+
+    def test_eq_filter_selectivity_tracks_estimate(self, catalog):
+        store = DataStore(catalog, seed=0)
+        query = Query(
+            "cat",
+            tables=["dim"],
+            predicates=[Predicate("dim", "category", PredicateOp.EQ)],
+        )
+        estimate = filtered_rows(
+            catalog.table("dim"), list(query.predicates)
+        )
+        actual = store.execute(query).per_table_selected["dim"]
+        # 10 categories over 200 rows: expect ~20; allow generous noise.
+        assert actual == pytest.approx(estimate, rel=1.0)
+
+    def test_join_query_row_counts(self, catalog):
+        store = DataStore(catalog, seed=0, max_rows=5_000)
+        query = Query(
+            "join",
+            tables=["dim", "fact"],
+            joins=[JoinEdge("dim", "dim_id", "fact", "dim_id")],
+        )
+        result = store.execute(query)
+        # Every fact row matches some dim row on average; output row
+        # count must be on the order of the fact rows.
+        assert result.rows_out > 0
+
+    def test_group_by_reduces_rows(self, catalog):
+        store = DataStore(catalog, seed=0)
+        grouped = Query(
+            "g",
+            tables=["dim"],
+            group_by=[("dim", "category")],
+        )
+        result = store.execute(grouped)
+        assert result.rows_out <= 10  # at most one row per category
+
+    def test_range_filter(self, catalog):
+        store = DataStore(catalog, seed=0)
+        query = Query(
+            "r",
+            tables=["dim"],
+            predicates=[
+                Predicate(
+                    "dim", "category", PredicateOp.RANGE, selectivity=0.3
+                )
+            ],
+        )
+        result = store.execute(query)
+        assert result.per_table_selected["dim"] == pytest.approx(
+            60, rel=0.5
+        )
+
+    def test_in_filter(self, catalog):
+        store = DataStore(catalog, seed=0)
+        query = Query(
+            "i",
+            tables=["dim"],
+            predicates=[
+                Predicate("dim", "category", PredicateOp.IN, values=3)
+            ],
+        )
+        result = store.execute(query)
+        assert result.per_table_selected["dim"] == pytest.approx(
+            60, rel=0.6
+        )

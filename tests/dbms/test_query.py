@@ -1,0 +1,131 @@
+"""Unit tests for the structural query representation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms.query import JoinEdge, Predicate, PredicateOp, Query, Workload
+from repro.errors import QueryError, ValidationError
+
+
+class TestPredicate:
+    def test_selectivity_bounds(self):
+        with pytest.raises(ValidationError):
+            Predicate("t", "c", selectivity=0.0)
+        with pytest.raises(ValidationError):
+            Predicate("t", "c", selectivity=1.5)
+        assert Predicate("t", "c", selectivity=1.0).selectivity == 1.0
+
+    def test_in_needs_values(self):
+        with pytest.raises(ValidationError):
+            Predicate("t", "c", PredicateOp.IN, values=0)
+
+
+class TestJoinEdge:
+    def test_involves_and_other(self):
+        edge = JoinEdge("a", "x", "b", "y")
+        assert edge.involves("a")
+        assert edge.involves("b")
+        assert not edge.involves("c")
+        assert edge.other("a") == "b"
+        assert edge.other("b") == "a"
+
+    def test_column_of(self):
+        edge = JoinEdge("a", "x", "b", "y")
+        assert edge.column_of("a") == "x"
+        assert edge.column_of("b") == "y"
+
+    def test_unrelated_table_raises(self):
+        edge = JoinEdge("a", "x", "b", "y")
+        with pytest.raises(QueryError):
+            edge.other("c")
+        with pytest.raises(QueryError):
+            edge.column_of("c")
+
+
+class TestQuery:
+    def test_valid_query(self):
+        query = Query(
+            "q",
+            tables=["a", "b"],
+            predicates=[Predicate("a", "x")],
+            joins=[JoinEdge("a", "k", "b", "k")],
+            group_by=[("a", "g")],
+            select=[("b", "v")],
+        )
+        assert query.tables == ("a", "b")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Query("", tables=["a"])
+
+    def test_no_tables_rejected(self):
+        with pytest.raises(QueryError):
+            Query("q", tables=[])
+
+    def test_duplicate_tables_rejected(self):
+        with pytest.raises(QueryError, match="duplicate"):
+            Query("q", tables=["a", "a"])
+
+    def test_predicate_on_unreferenced_table_rejected(self):
+        with pytest.raises(QueryError, match="unreferenced"):
+            Query("q", tables=["a"], predicates=[Predicate("b", "x")])
+
+    def test_join_on_unreferenced_table_rejected(self):
+        with pytest.raises(QueryError, match="unreferenced"):
+            Query("q", tables=["a"], joins=[JoinEdge("a", "k", "b", "k")])
+
+    def test_output_on_unreferenced_table_rejected(self):
+        with pytest.raises(QueryError, match="unreferenced"):
+            Query("q", tables=["a"], group_by=[("b", "g")])
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValidationError):
+            Query("q", tables=["a"], weight=0.0)
+
+    def test_predicates_on(self):
+        query = Query(
+            "q",
+            tables=["a", "b"],
+            predicates=[Predicate("a", "x"), Predicate("b", "y")],
+            joins=[JoinEdge("a", "k", "b", "k")],
+        )
+        assert [p.column for p in query.predicates_on("a")] == ["x"]
+
+    def test_joins_of(self):
+        edge = JoinEdge("a", "k", "b", "k")
+        query = Query("q", tables=["a", "b"], joins=[edge])
+        assert query.joins_of("a") == [edge]
+        assert query.joins_of("b") == [edge]
+
+    def test_columns_needed_union(self):
+        query = Query(
+            "q",
+            tables=["a", "b"],
+            predicates=[Predicate("a", "x")],
+            joins=[JoinEdge("a", "k", "b", "k")],
+            group_by=[("a", "g")],
+            select=[("a", "v"), ("b", "w")],
+        )
+        assert query.columns_needed("a") == ["g", "k", "v", "x"]
+        assert query.columns_needed("b") == ["k", "w"]
+
+
+class TestWorkload:
+    def test_iteration_and_len(self):
+        queries = [Query("q1", tables=["a"]), Query("q2", tables=["a"])]
+        workload = Workload("w", queries)
+        assert len(workload) == 2
+        assert [q.name for q in workload] == ["q1", "q2"]
+
+    def test_lookup(self):
+        workload = Workload("w", [Query("q1", tables=["a"])])
+        assert workload.query("q1").name == "q1"
+        with pytest.raises(QueryError):
+            workload.query("missing")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(QueryError, match="duplicate"):
+            Workload(
+                "w", [Query("q", tables=["a"]), Query("q", tables=["b"])]
+            )

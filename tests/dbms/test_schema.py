@@ -1,0 +1,127 @@
+"""Unit tests for schema objects: Column, Table, IndexSpec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms.schema import PAGE_BYTES, Column, IndexSpec, Table
+from repro.errors import CatalogError, ValidationError
+
+
+@pytest.fixture
+def people() -> Table:
+    return Table(
+        "people",
+        columns=[
+            Column("id", width=8, distinct=100_000),
+            Column("city", width=16, distinct=500),
+            Column("salary", width=8, distinct=5_000),
+        ],
+        row_count=100_000,
+    )
+
+
+class TestColumn:
+    def test_defaults(self):
+        column = Column("c")
+        assert column.width == 8
+        assert column.distinct == 100
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Column("")
+
+    def test_nonpositive_width_rejected(self):
+        with pytest.raises(ValidationError):
+            Column("c", width=0)
+
+    def test_nonpositive_distinct_rejected(self):
+        with pytest.raises(ValidationError):
+            Column("c", distinct=0)
+
+
+class TestTable:
+    def test_column_lookup(self, people):
+        assert people.column("city").distinct == 500
+        assert people.has_column("salary")
+        assert not people.has_column("bonus")
+
+    def test_unknown_column_raises(self, people):
+        with pytest.raises(CatalogError, match="no column"):
+            people.column("bonus")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError, match="duplicate"):
+            Table("t", [Column("a"), Column("a")], row_count=10)
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValidationError):
+            Table("t", [Column("a")], row_count=-1)
+
+    def test_row_width_includes_overhead(self, people):
+        assert people.row_width == 16 + 8 + 16 + 8
+
+    def test_pages_scale_with_rows(self, people):
+        wider = Table("w", list(people.columns), row_count=1_000_000)
+        assert wider.pages > people.pages
+
+    def test_empty_table_has_one_page(self):
+        table = Table("t", [Column("a")], row_count=0)
+        assert table.pages == 1
+
+    def test_pages_roughly_bytes_over_page_size(self, people):
+        expected = people.row_count * people.row_width / PAGE_BYTES
+        assert people.pages == pytest.approx(expected, rel=0.01)
+
+
+class TestIndexSpec:
+    def test_all_columns_order(self):
+        spec = IndexSpec("ix", "t", ("a", "b"), include_columns=("c",))
+        assert spec.all_columns == ("a", "b", "c")
+
+    def test_needs_key_columns(self):
+        with pytest.raises(ValidationError):
+            IndexSpec("ix", "t", ())
+
+    def test_key_include_overlap_rejected(self):
+        with pytest.raises(ValidationError, match="both"):
+            IndexSpec("ix", "t", ("a",), include_columns=("a",))
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            IndexSpec("ix", "t", ("a", "a"))
+
+    def test_covers(self):
+        spec = IndexSpec("ix", "t", ("a",), include_columns=("b",))
+        assert spec.covers(["a"])
+        assert spec.covers(["a", "b"])
+        assert not spec.covers(["a", "z"])
+
+    def test_entry_width_narrower_than_row(self, people):
+        spec = IndexSpec("ix_city", "people", ("city",))
+        assert spec.entry_width(people) < people.row_width + 16
+
+    def test_clustered_entry_is_full_row(self, people):
+        spec = IndexSpec("cx", "people", ("id",), clustered=True)
+        assert spec.entry_width(people) == people.row_width
+
+    def test_leaf_pages_fewer_for_narrow_index(self, people):
+        narrow = IndexSpec("ix_city", "people", ("city",))
+        wide = IndexSpec(
+            "ix_all", "people", ("city",), include_columns=("id", "salary")
+        )
+        assert narrow.leaf_pages(people) < wide.leaf_pages(people)
+        assert narrow.leaf_pages(people) < people.pages
+
+    def test_size_bytes(self, people):
+        spec = IndexSpec("ix_city", "people", ("city",))
+        assert spec.size_bytes(people) == spec.leaf_pages(people) * PAGE_BYTES
+
+    def test_key_prefix_of(self):
+        short = IndexSpec("a", "t", ("x",))
+        longer = IndexSpec("b", "t", ("x", "y"))
+        other = IndexSpec("c", "t", ("y", "x"))
+        assert short.key_prefix_of(longer)
+        assert not longer.key_prefix_of(short)
+        assert not short.key_prefix_of(other)
+        assert short.key_prefix_of(short)

@@ -1,0 +1,73 @@
+"""Unit tests for the experiment harness utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import DF, ResultTable, format_cell, quick_mode
+
+
+class TestFormatCell:
+    def test_none_is_empty(self):
+        assert format_cell(None) == ""
+
+    def test_float_two_decimals(self):
+        assert format_cell(3.14159) == "3.14"
+
+    def test_tiny_positive_float(self):
+        assert format_cell(0.001) == "<0.01"
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0.00"
+
+    def test_nan_is_empty(self):
+        assert format_cell(float("nan")) == ""
+
+    def test_string_passthrough(self):
+        assert format_cell(DF) == "DF"
+
+    def test_int(self):
+        assert format_cell(42) == "42"
+
+
+class TestResultTable:
+    def test_render_contains_all_cells(self):
+        table = ResultTable("T", headers=["a", "b"])
+        table.add_row("x", 1.5)
+        table.add_row("y", None)
+        text = table.render()
+        assert "T" in text
+        assert "x" in text
+        assert "1.50" in text
+
+    def test_columns_aligned(self):
+        table = ResultTable("T", headers=["method", "t"])
+        table.add_row("very-long-method-name", 1.0)
+        table.add_row("m", 2.0)
+        lines = table.render().splitlines()
+        data = [line for line in lines if "|" in line]
+        pipes = {line.index("|") for line in data}
+        assert len(pipes) == 1  # every row breaks at the same column
+
+    def test_notes_rendered(self):
+        table = ResultTable("T", headers=["a"])
+        table.add_note("hello note")
+        assert "hello note" in table.render()
+
+    def test_as_dict_roundtrip_fields(self):
+        table = ResultTable("T", headers=["a"])
+        table.add_row(1.0)
+        payload = table.as_dict()
+        assert payload["title"] == "T"
+        assert payload["headers"] == ["a"]
+        assert payload["rows"] == [[1.0]]
+
+
+class TestQuickMode:
+    def test_default_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert quick_mode()
+
+    def test_full_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert not quick_mode()

@@ -1,0 +1,119 @@
+"""Unit tests for solver infrastructure: Budget, SuffixBound, repair."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.constraints import ConstraintSet
+from repro.core.objective import ObjectiveEvaluator
+from repro.solvers.base import Budget, SuffixBound, glue_consecutive, repair_order
+
+from tests.conftest import make_paper_example, small_synthetic
+
+
+class TestBudget:
+    def test_no_limits_never_exhausted(self):
+        budget = Budget()
+        budget.tick(10_000)
+        assert not budget.exhausted
+
+    def test_node_limit(self):
+        budget = Budget(node_limit=5)
+        budget.tick(4)
+        assert not budget.exhausted
+        budget.tick(1)
+        assert budget.exhausted
+
+    def test_time_limit(self):
+        budget = Budget(time_limit=0.0)
+        assert budget.exhausted
+
+    def test_elapsed_increases(self):
+        budget = Budget()
+        first = budget.elapsed
+        time.sleep(0.01)
+        assert budget.elapsed > first
+
+    def test_restart_resets(self):
+        budget = Budget(node_limit=3)
+        budget.tick(3)
+        assert budget.exhausted
+        budget.restart()
+        assert budget.nodes == 0
+        assert not budget.exhausted
+
+
+class TestSuffixBound:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_admissible_at_root(self, seed):
+        import itertools
+
+        instance = small_synthetic(seed=seed, n=6)
+        bound = SuffixBound(instance)
+        evaluator = ObjectiveEvaluator(instance)
+        root_bound = bound.bound(instance.total_base_runtime, set())
+        optimum = min(
+            evaluator.evaluate(list(order))
+            for order in itertools.permutations(range(6))
+        )
+        assert root_bound <= optimum + 1e-6
+
+    def test_admissible_mid_search(self):
+        import itertools
+
+        instance = small_synthetic(seed=7, n=6)
+        bound = SuffixBound(instance)
+        evaluator = ObjectiveEvaluator(instance)
+        for order in itertools.permutations(range(6)):
+            prefix = list(order[:3])
+            prefix_obj, runtime, _ = evaluator.evaluate_prefix(prefix)
+            suffix_bound = bound.bound(runtime, set(prefix))
+            total = evaluator.evaluate(list(order))
+            assert prefix_obj + suffix_bound <= total + 1e-6
+
+    def test_bound_positive_when_work_remains(self, paper_example):
+        bound = SuffixBound(paper_example)
+        assert bound.bound(paper_example.total_base_runtime, set()) > 0.0
+
+
+class TestRepairOrder:
+    def test_identity_without_constraints(self):
+        order = [3, 1, 2, 0]
+        assert repair_order(order, None) == order
+
+    def test_moves_predecessors_first(self):
+        constraints = ConstraintSet(4)
+        constraints.add_precedence(2, 0)
+        repaired = repair_order([0, 1, 2, 3], constraints)
+        assert constraints.check_order(repaired) or constraints.consecutive_pairs
+        assert repaired.index(2) < repaired.index(0)
+
+    def test_result_is_permutation(self):
+        constraints = ConstraintSet(5)
+        constraints.add_precedence(4, 0)
+        constraints.add_precedence(3, 1)
+        repaired = repair_order([0, 1, 2, 3, 4], constraints)
+        assert sorted(repaired) == list(range(5))
+
+
+class TestGlueConsecutive:
+    def test_glues_pairs_adjacently(self):
+        constraints = ConstraintSet(4)
+        constraints.add_consecutive(1, 3)
+        glued = glue_consecutive([3, 0, 1, 2], constraints)
+        assert sorted(glued) == [0, 1, 2, 3]
+        assert glued.index(3) == glued.index(1) + 1
+
+    def test_no_pairs_is_identity(self):
+        constraints = ConstraintSet(3)
+        assert glue_consecutive([2, 0, 1], constraints) == [2, 0, 1]
+
+    def test_full_feasibility_after_glue(self):
+        constraints = ConstraintSet(5)
+        constraints.add_consecutive(0, 1)
+        constraints.add_precedence(2, 0)
+        order = repair_order([4, 1, 0, 3, 2], constraints)
+        glued = glue_consecutive(order, constraints)
+        assert constraints.check_order(glued)

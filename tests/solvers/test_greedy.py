@@ -1,0 +1,82 @@
+"""Unit tests for the interaction-guided greedy (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.constraints import ConstraintSet
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.solution import SolveStatus
+from repro.solvers.greedy import GreedySolver, greedy_order
+from repro.solvers.random_search import random_statistics
+
+from tests.conftest import (
+    make_join_example,
+    make_precedence_example,
+    make_tiny3,
+    small_synthetic,
+)
+
+
+class TestGreedyOrder:
+    def test_returns_permutation(self, tiny3):
+        assert sorted(greedy_order(tiny3)) == [0, 1, 2]
+
+    def test_density_order_on_independent_indexes(self, tiny3):
+        # Densities: c=2.0, a=1.2, b=0.4.
+        assert greedy_order(tiny3) == [2, 0, 1]
+
+    def test_interaction_credit_groups_joint_plan(self, join_example):
+        # Both indexes only matter together; the greedy must still order
+        # them (via the future-opportunity credit) without crashing on
+        # zero immediate benefit.
+        order = greedy_order(join_example)
+        assert sorted(order) == [0, 1]
+
+    def test_respects_precedence_constraints(self, precedence_example):
+        constraints = ConstraintSet(3)
+        for rule in precedence_example.precedences:
+            constraints.add_precedence(rule.before, rule.after)
+        order = greedy_order(precedence_example, constraints)
+        assert order.index(0) < order.index(1)
+        assert order.index(0) < order.index(2)
+
+    def test_respects_consecutive_constraints(self):
+        instance = small_synthetic(seed=1, n=6)
+        constraints = ConstraintSet(6)
+        constraints.add_consecutive(2, 5)
+        order = greedy_order(instance, constraints)
+        assert order.index(5) == order.index(2) + 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_beats_random_average(self, seed):
+        # Table 7's claim: greedy better than the random average.
+        instance = small_synthetic(seed=seed, n=10, plans_per_query=3.0)
+        evaluator = ObjectiveEvaluator(instance)
+        greedy_objective = evaluator.evaluate(greedy_order(instance))
+        average, _, _ = random_statistics(instance, samples=50, seed=seed)
+        assert greedy_objective <= average
+
+
+class TestGreedySolver:
+    def test_solve_result_shape(self, tiny3):
+        result = GreedySolver().solve(tiny3)
+        assert result.status is SolveStatus.FEASIBLE
+        assert result.solution is not None
+        result.solution.validate_against(tiny3)
+
+    def test_solver_name(self):
+        assert GreedySolver().name == "greedy"
+
+    def test_objective_matches_reference(self, tiny3):
+        result = GreedySolver().solve(tiny3)
+        reference = ObjectiveEvaluator(tiny3).evaluate(result.solution.order)
+        assert result.solution.objective == pytest.approx(reference)
+
+    def test_constraint_feasible_output(self):
+        instance = small_synthetic(seed=5, n=8, precedence_rate=5.0)
+        constraints = ConstraintSet(8)
+        for rule in instance.precedences:
+            constraints.add_precedence(rule.before, rule.after)
+        result = GreedySolver().solve(instance, constraints=constraints)
+        assert constraints.check_order(result.solution.order)

@@ -1,0 +1,163 @@
+"""Unit tests for the random baseline and the Schnaitter-style DP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.constraints import ConstraintSet
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.solution import SolveStatus
+from repro.solvers.dp import DPSolver, dp_order, interaction_weights
+from repro.solvers.random_search import RandomSolver, random_statistics
+
+from tests.conftest import make_join_example, make_tiny3, small_synthetic
+
+
+class TestRandomStatistics:
+    def test_shapes(self, tiny3):
+        average, minimum, objectives = random_statistics(
+            tiny3, samples=20, seed=0
+        )
+        assert len(objectives) == 20
+        assert minimum <= average
+        assert minimum == min(objectives)
+        assert average == pytest.approx(sum(objectives) / 20)
+
+    def test_deterministic_per_seed(self, tiny3):
+        first = random_statistics(tiny3, samples=10, seed=42)
+        second = random_statistics(tiny3, samples=10, seed=42)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        instance = small_synthetic(seed=0, n=8)
+        a = random_statistics(instance, samples=10, seed=1)
+        b = random_statistics(instance, samples=10, seed=2)
+        assert a[2] != b[2]
+
+    def test_constraints_respected_in_samples(self):
+        instance = small_synthetic(seed=0, n=6)
+        constraints = ConstraintSet(6)
+        constraints.add_consecutive(0, 3)
+        # Must not raise (repaired permutations are evaluated).
+        average, minimum, _ = random_statistics(
+            instance, samples=10, seed=0, constraints=constraints
+        )
+        assert minimum <= average
+
+
+class TestRandomSolver:
+    def test_returns_best_of_samples(self, tiny3):
+        result = RandomSolver(samples=30, seed=0).solve(tiny3)
+        assert result.status is SolveStatus.FEASIBLE
+        _, minimum, _ = random_statistics(tiny3, samples=30, seed=0)
+        assert result.solution.objective <= minimum + 1e-9
+
+    def test_solution_valid(self, tiny3):
+        result = RandomSolver(samples=5, seed=3).solve(tiny3)
+        result.solution.validate_against(tiny3)
+
+
+class TestInteractionWeights:
+    def test_pairs_within_plan_weighted(self, join_example):
+        weights = interaction_weights(join_example)
+        # One plan {0,1} with speedup 150 over 2 indexes: share 75.
+        assert weights[(0, 1)] == pytest.approx(75.0)
+
+    def test_competing_plans_cross_weighted(self):
+        from repro.core.instance import (
+            IndexDef,
+            PlanDef,
+            ProblemInstance,
+            QueryDef,
+        )
+
+        # Paper's Appendix C example: plan A {0,1,2} speedup 10 (share
+        # 3.33), plan B {3,4} speedup 5 (share 2.5); cross pairs get 2.5.
+        instance = ProblemInstance(
+            indexes=[IndexDef(i, f"i{i}", 1.0) for i in range(5)],
+            queries=[QueryDef(0, "q", 100.0)],
+            plans=[
+                PlanDef(0, 0, frozenset({0, 1, 2}), 10.0),
+                PlanDef(1, 0, frozenset({3, 4}), 5.0),
+            ],
+        )
+        weights = interaction_weights(instance)
+        assert weights[(0, 1)] == pytest.approx(10.0 / 3)
+        assert weights[(3, 4)] == pytest.approx(2.5)
+        assert weights[(0, 3)] == pytest.approx(2.5)  # min(3.33, 2.5)
+
+    def test_weights_accumulate_over_queries(self):
+        from repro.core.instance import (
+            IndexDef,
+            PlanDef,
+            ProblemInstance,
+            QueryDef,
+        )
+
+        instance = ProblemInstance(
+            indexes=[IndexDef(0, "a", 1.0), IndexDef(1, "b", 1.0)],
+            queries=[QueryDef(0, "q0", 100.0), QueryDef(1, "q1", 100.0)],
+            plans=[
+                PlanDef(0, 0, frozenset({0, 1}), 10.0),
+                PlanDef(1, 1, frozenset({0, 1}), 6.0),
+            ],
+        )
+        weights = interaction_weights(instance)
+        assert weights[(0, 1)] == pytest.approx(5.0 + 3.0)
+
+
+class TestDPOrder:
+    def test_returns_permutation(self, tiny3):
+        assert sorted(dp_order(tiny3)) == [0, 1, 2]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_permutation_on_synthetic(self, seed):
+        instance = small_synthetic(seed=seed, n=9)
+        assert sorted(dp_order(instance)) == list(range(9))
+
+    def test_single_index(self):
+        instance = small_synthetic(seed=0, n=1)
+        assert dp_order(instance) == [0]
+
+    def test_cost_blindness_documented_weakness(self):
+        """The DP ignores build costs; greedy exploits them (Table 7)."""
+        from repro.core.instance import (
+            IndexDef,
+            PlanDef,
+            ProblemInstance,
+            QueryDef,
+        )
+        from repro.solvers.greedy import greedy_order
+
+        # Same benefit, wildly different costs: greedy puts the cheap
+        # index first, the benefit-only DP interleave cannot tell.
+        instance = ProblemInstance(
+            indexes=[
+                IndexDef(0, "expensive", 100.0),
+                IndexDef(1, "cheap", 1.0),
+            ],
+            queries=[QueryDef(0, "q0", 100.0), QueryDef(1, "q1", 100.0)],
+            plans=[
+                PlanDef(0, 0, frozenset({0}), 10.0),
+                PlanDef(1, 1, frozenset({1}), 10.0),
+            ],
+        )
+        evaluator = ObjectiveEvaluator(instance)
+        greedy_objective = evaluator.evaluate(greedy_order(instance))
+        dp_objective = evaluator.evaluate(dp_order(instance))
+        assert greedy_objective <= dp_objective
+
+
+class TestDPSolver:
+    def test_solve_result(self, tiny3):
+        result = DPSolver().solve(tiny3)
+        assert result.status is SolveStatus.FEASIBLE
+        result.solution.validate_against(tiny3)
+
+    def test_constraint_repair(self):
+        instance = small_synthetic(seed=2, n=7)
+        constraints = ConstraintSet(7)
+        constraints.add_precedence(6, 0)
+        constraints.add_consecutive(1, 4)
+        result = DPSolver().solve(instance, constraints=constraints)
+        assert constraints.check_order(result.solution.order)

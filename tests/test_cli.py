@@ -1,0 +1,140 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import SOLVERS, build_parser, main
+from repro.core.serialization import save_instance
+
+from tests.conftest import make_paper_example, small_synthetic
+
+
+@pytest.fixture
+def matrix_path(tmp_path):
+    path = tmp_path / "matrix.json"
+    save_instance(small_synthetic(seed=0, n=6), path)
+    return str(path)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solver_choices_cover_registry(self):
+        parser = build_parser()
+        for name in SOLVERS:
+            args = parser.parse_args(["solve", "m.json", "--solver", name])
+            assert args.solver == name
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "m.json", "--solver", "magic"])
+
+
+class TestSolve:
+    def test_greedy_solve(self, matrix_path):
+        code, text = run_cli(
+            ["solve", matrix_path, "--solver", "greedy", "--time-limit", "2"]
+        )
+        assert code == 0
+        assert "objective:" in text
+        assert "deployment time:" in text
+
+    def test_exact_solve_reports_optimal(self, matrix_path):
+        code, text = run_cli(
+            ["solve", matrix_path, "--solver", "exhaustive", "--time-limit", "30"]
+        )
+        assert code == 0
+        assert "status=optimal" in text
+
+    def test_schedule_flag_prints_steps(self, matrix_path):
+        code, text = run_cli(
+            [
+                "solve",
+                matrix_path,
+                "--solver",
+                "greedy",
+                "--schedule",
+            ]
+        )
+        assert code == 0
+        assert "runtime after" in text
+        assert text.count("ix0") >= 1
+
+    def test_output_file_written(self, matrix_path, tmp_path):
+        out_path = tmp_path / "order.json"
+        code, _ = run_cli(
+            [
+                "solve",
+                matrix_path,
+                "--solver",
+                "greedy",
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["solver"] == "greedy"
+        assert sorted(payload["order_ids"]) == list(range(6))
+        assert len(payload["order"]) == 6
+
+    def test_no_analysis_flag(self, matrix_path):
+        code, text = run_cli(
+            ["solve", matrix_path, "--solver", "greedy", "--no-analysis"]
+        )
+        assert code == 0
+        assert "analysis:" not in text
+
+    def test_missing_file_reports_error(self):
+        code, text = run_cli(["solve", "/nonexistent/matrix.json"])
+        assert code == 1
+        assert "error:" in text
+
+    def test_vns_solve_within_budget(self, matrix_path):
+        code, text = run_cli(
+            ["solve", matrix_path, "--solver", "vns", "--time-limit", "1"]
+        )
+        assert code == 0
+
+
+class TestAnalyze:
+    def test_analyze_reports_constraints(self, tmp_path):
+        path = tmp_path / "paper.json"
+        save_instance(make_paper_example(), path)
+        code, text = run_cli(["analyze", str(path)])
+        assert code == 0
+        assert "implied_pairs=" in text
+        assert "direct_edges:" in text
+
+    def test_property_subset(self, matrix_path):
+        code, text = run_cli(["analyze", matrix_path, "--properties", "A"])
+        assert code == 0
+
+    def test_invalid_property_reports_error(self, matrix_path):
+        code, text = run_cli(["analyze", matrix_path, "--properties", "XYZ"])
+        assert code == 1
+        assert "error:" in text
+
+
+class TestExperiment:
+    def test_table4(self):
+        code, text = run_cli(["experiment", "table4"])
+        assert code == 0
+        assert "TPC-H" in text
+
+    def test_unknown_experiment(self):
+        code, text = run_cli(["experiment", "table99"])
+        assert code == 2
+        assert "available:" in text

@@ -1,0 +1,203 @@
+"""Failure-injection tests: the library must fail loudly and precisely.
+
+Every scenario here feeds the system inconsistent, hostile, or
+degenerate input and checks for the *documented* failure mode — a
+specific exception type with a useful message, or a graceful degraded
+result — never a silent wrong answer.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.constraints import ConstraintSet
+from repro.analysis.fixpoint import analyze
+from repro.core.instance import (
+    IndexDef,
+    PlanDef,
+    PrecedenceRule,
+    ProblemInstance,
+    QueryDef,
+)
+from repro.core.serialization import load_instance, save_instance
+from repro.core.solution import SolveStatus
+from repro.core.validation import check_precedence_feasibility
+from repro.errors import (
+    InfeasibleError,
+    ReproError,
+    ValidationError,
+)
+from repro.solvers.base import Budget
+from repro.solvers.cp.search import CPSolver
+from repro.solvers.exhaustive import ExhaustiveSolver
+from repro.solvers.greedy import GreedySolver
+from repro.solvers.localsearch.vns import VNSSolver
+
+from tests.conftest import small_synthetic
+
+
+class TestHostileConstraints:
+    def test_contradictory_constraint_set_cannot_be_built(self):
+        constraints = ConstraintSet(3)
+        constraints.add_precedence(0, 1)
+        constraints.add_precedence(1, 2)
+        with pytest.raises(InfeasibleError):
+            constraints.add_precedence(2, 0)
+
+    def test_cyclic_hard_precedences_detected_before_solving(self):
+        instance = ProblemInstance(
+            indexes=[IndexDef(i, f"ix{i}", 1.0) for i in range(3)],
+            queries=[QueryDef(0, "q", 10.0)],
+            plans=[PlanDef(0, 0, frozenset({0}), 1.0)],
+            precedences=[
+                PrecedenceRule(0, 1),
+                PrecedenceRule(1, 2),
+                PrecedenceRule(2, 0),
+            ],
+        )
+        with pytest.raises(InfeasibleError, match="cycle"):
+            check_precedence_feasibility(instance)
+
+    def test_analyze_propagates_infeasible_hard_precedences(self):
+        instance = ProblemInstance(
+            indexes=[IndexDef(i, f"ix{i}", 1.0) for i in range(2)],
+            queries=[QueryDef(0, "q", 10.0)],
+            plans=[],
+            precedences=[PrecedenceRule(0, 1), PrecedenceRule(1, 0)],
+        )
+        with pytest.raises(InfeasibleError):
+            analyze(instance)
+
+
+class TestCorruptMatrixFiles:
+    def test_truncated_file(self, tmp_path):
+        instance = small_synthetic(seed=0, n=5)
+        path = tmp_path / "matrix.json"
+        save_instance(instance, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(ValidationError):
+            load_instance(path)
+
+    def test_semantically_broken_payload(self, tmp_path):
+        instance = small_synthetic(seed=0, n=5)
+        path = tmp_path / "matrix.json"
+        save_instance(instance, path)
+        payload = json.loads(path.read_text())
+        # Point a plan at a non-existent index.
+        payload["plans"][0]["indexes"] = [999]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValidationError, match="unknown index"):
+            load_instance(path)
+
+    def test_negative_cost_payload(self, tmp_path):
+        instance = small_synthetic(seed=0, n=5)
+        path = tmp_path / "matrix.json"
+        save_instance(instance, path)
+        payload = json.loads(path.read_text())
+        payload["indexes"][0]["create_cost"] = -5.0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValidationError, match="positive"):
+            load_instance(path)
+
+
+class TestBudgetStarvation:
+    """Zero/near-zero budgets must degrade, never crash or lie."""
+
+    def test_exhaustive_zero_time(self):
+        instance = small_synthetic(seed=1, n=8)
+        result = ExhaustiveSolver().solve(
+            instance, budget=Budget(time_limit=0.0)
+        )
+        assert result.status is not SolveStatus.OPTIMAL
+
+    def test_cp_zero_time_returns_greedy_seed(self):
+        instance = small_synthetic(seed=1, n=8)
+        result = CPSolver().solve(instance, budget=Budget(time_limit=0.0))
+        assert result.solution is not None
+        result.solution.validate_against(instance)
+        assert result.status is not SolveStatus.OPTIMAL
+
+    def test_vns_zero_nodes_returns_initial(self):
+        instance = small_synthetic(seed=1, n=8)
+        result = VNSSolver(seed=0).solve(
+            instance, budget=Budget(node_limit=0)
+        )
+        assert result.solution is not None
+        result.solution.validate_against(instance)
+
+    def test_all_statuses_report_honestly(self):
+        # A solver that times out must not claim OPTIMAL even when its
+        # incumbent happens to be the optimum.
+        instance = small_synthetic(seed=2, n=9)
+        result = ExhaustiveSolver().solve(
+            instance, budget=Budget(node_limit=50)
+        )
+        if result.status is SolveStatus.OPTIMAL:
+            # Only allowed if the search genuinely closed within 50 nodes.
+            assert result.nodes <= 50
+
+
+class TestDegenerateInstances:
+    def test_single_index_single_query(self):
+        instance = ProblemInstance(
+            indexes=[IndexDef(0, "only", 5.0)],
+            queries=[QueryDef(0, "q", 10.0)],
+            plans=[PlanDef(0, 0, frozenset({0}), 3.0)],
+        )
+        for solver in (GreedySolver(), ExhaustiveSolver(), CPSolver()):
+            result = solver.solve(instance)
+            assert result.solution.order == (0,)
+
+    def test_all_queries_zero_runtime(self):
+        instance = ProblemInstance(
+            indexes=[IndexDef(i, f"ix{i}", 2.0 + i) for i in range(4)],
+            queries=[QueryDef(0, "q", 0.0)],
+            plans=[],
+        )
+        result = ExhaustiveSolver().solve(instance)
+        assert result.solution.objective == 0.0
+        assert result.status is SolveStatus.OPTIMAL
+
+    def test_every_index_in_one_giant_alliance(self):
+        members = frozenset(range(6))
+        instance = ProblemInstance(
+            indexes=[IndexDef(i, f"ix{i}", 10.0) for i in range(6)],
+            queries=[QueryDef(0, "q", 100.0)],
+            plans=[PlanDef(0, 0, members, 50.0)],
+        )
+        report = analyze(instance)
+        # 5 consecutive pairs glue the whole alliance.
+        assert len(report.constraints.consecutive_pairs) == 5
+        result = ExhaustiveSolver().solve(
+            instance, constraints=report.constraints
+        )
+        assert result.status is SolveStatus.OPTIMAL
+
+    def test_generator_rejects_impossible_shapes(self):
+        from repro.workloads.generator import GeneratorConfig, generate_instance
+
+        with pytest.raises(ValidationError):
+            generate_instance(
+                seed=0, config=GeneratorConfig(n_indexes=0, n_queries=1)
+            )
+        with pytest.raises(ValidationError):
+            generate_instance(
+                seed=0, config=GeneratorConfig(n_indexes=1, n_queries=0)
+            )
+
+
+class TestExceptionHierarchy:
+    def test_all_library_errors_catchable_as_repro_error(self):
+        for exc in (ValidationError, InfeasibleError):
+            assert issubclass(exc, ReproError)
+
+    def test_library_never_raises_bare_exception_on_bad_order(self):
+        instance = small_synthetic(seed=0, n=4)
+        from repro.core.objective import ObjectiveEvaluator
+
+        evaluator = ObjectiveEvaluator(instance)
+        with pytest.raises(ReproError):
+            evaluator.evaluate([0, 0, 0, 0])

@@ -1,0 +1,244 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Strategy: generate random valid instances (via the library's own
+generator, seeded by hypothesis) and random permutations, then check the
+model-level invariants the whole system relies on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.constraints import ConstraintSet
+from repro.analysis.fixpoint import analyze
+from repro.core.instance import ProblemInstance
+from repro.core.objective import ObjectiveEvaluator, PrefixCachedEvaluator
+from repro.core.serialization import instance_from_dict, instance_to_dict
+from repro.workloads.generator import GeneratorConfig, generate_instance
+
+from tests.conftest import brute_force_best
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def instances(draw, max_indexes: int = 8) -> ProblemInstance:
+    """Random valid instances driven by the library's generator."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=2, max_value=max_indexes))
+    config = GeneratorConfig(
+        n_indexes=n,
+        n_queries=draw(st.integers(min_value=1, max_value=6)),
+        plans_per_query=draw(
+            st.floats(min_value=1.0, max_value=4.0, allow_nan=False)
+        ),
+        max_plan_size=draw(st.integers(min_value=2, max_value=4)),
+        multi_index_fraction=draw(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+        ),
+        build_interaction_rate=draw(
+            st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+        ),
+    )
+    return generate_instance(seed=seed, config=config)
+
+
+@st.composite
+def instances_with_order(draw, max_indexes: int = 8):
+    instance = draw(instances(max_indexes=max_indexes))
+    order = draw(st.permutations(list(range(instance.n_indexes))))
+    return instance, list(order)
+
+
+COMMON_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# Objective invariants
+# ----------------------------------------------------------------------
+class TestObjectiveProperties:
+    @COMMON_SETTINGS
+    @given(instances_with_order())
+    def test_objective_bounded(self, pair):
+        instance, order = pair
+        objective = ObjectiveEvaluator(instance).evaluate(order)
+        worst = instance.total_base_runtime * instance.total_create_cost()
+        assert 0.0 <= objective <= worst + 1e-6
+
+    @COMMON_SETTINGS
+    @given(instances_with_order())
+    def test_schedule_consistent_with_evaluate(self, pair):
+        instance, order = pair
+        evaluator = ObjectiveEvaluator(instance)
+        schedule = evaluator.schedule(order)
+        assert schedule.objective == pytest.approx(
+            evaluator.evaluate(order), rel=1e-12
+        )
+        assert schedule.objective == pytest.approx(
+            sum(step.area for step in schedule.steps), rel=1e-9
+        )
+
+    @COMMON_SETTINGS
+    @given(instances_with_order())
+    def test_runtime_curve_monotone(self, pair):
+        instance, order = pair
+        schedule = ObjectiveEvaluator(instance).schedule(order)
+        last = float("inf")
+        for step in schedule.steps:
+            assert step.runtime_before <= last + 1e-9
+            assert step.runtime_after <= step.runtime_before + 1e-9
+            last = step.runtime_after
+
+    @COMMON_SETTINGS
+    @given(instances_with_order())
+    def test_build_costs_within_bounds(self, pair):
+        instance, order = pair
+        schedule = ObjectiveEvaluator(instance).schedule(order)
+        for step in schedule.steps:
+            create = instance.indexes[step.index_id].create_cost
+            assert 0.0 < step.build_cost <= create + 1e-9
+            assert step.saving >= 0.0
+
+    @COMMON_SETTINGS
+    @given(instances_with_order())
+    def test_prefix_cached_matches_reference(self, pair):
+        instance, order = pair
+        reference = ObjectiveEvaluator(instance)
+        cached = PrefixCachedEvaluator(instance, checkpoint_stride=3)
+        cached.set_base(list(range(instance.n_indexes)))
+        assert cached.evaluate(order) == pytest.approx(
+            reference.evaluate(order), rel=1e-12
+        )
+
+    @COMMON_SETTINGS
+    @given(instances())
+    def test_total_runtime_monotone_in_built_set(self, instance):
+        # Adding indexes never makes the workload slower.
+        built = set()
+        last = instance.total_runtime(built)
+        for index_id in range(instance.n_indexes):
+            built.add(index_id)
+            current = instance.total_runtime(built)
+            assert current <= last + 1e-9
+            last = current
+
+    @COMMON_SETTINGS
+    @given(instances_with_order())
+    def test_deploy_time_invariant_total(self, pair):
+        # Total deployment time <= sum of create costs (savings only help),
+        # and >= sum of minimum build costs.
+        instance, order = pair
+        schedule = ObjectiveEvaluator(instance).schedule(order)
+        upper = instance.total_create_cost()
+        lower = sum(
+            instance.min_build_cost(i) for i in range(instance.n_indexes)
+        )
+        assert lower - 1e-9 <= schedule.total_deploy_time <= upper + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+class TestSerializationProperties:
+    @COMMON_SETTINGS
+    @given(instances())
+    def test_roundtrip_preserves_objective(self, instance):
+        again = instance_from_dict(instance_to_dict(instance))
+        order = list(range(instance.n_indexes))
+        assert ObjectiveEvaluator(again).evaluate(order) == pytest.approx(
+            ObjectiveEvaluator(instance).evaluate(order)
+        )
+
+    @COMMON_SETTINGS
+    @given(instances())
+    def test_roundtrip_preserves_structure(self, instance):
+        again = instance_from_dict(instance_to_dict(instance))
+        assert again.indexes == instance.indexes
+        assert again.queries == instance.queries
+        assert again.plans == instance.plans
+        assert again.build_interactions == instance.build_interactions
+
+
+# ----------------------------------------------------------------------
+# Pruning soundness (the paper's Theorems 1-10 in aggregate)
+# ----------------------------------------------------------------------
+class TestPruningProperties:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(instances(max_indexes=6))
+    def test_analysis_never_loses_the_optimum(self, instance):
+        _, unconstrained = brute_force_best(instance)
+        report = analyze(instance)
+        _, constrained = brute_force_best(instance, report.constraints)
+        assert constrained == pytest.approx(unconstrained, rel=1e-9)
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(instances(max_indexes=6))
+    def test_constraints_remain_satisfiable(self, instance):
+        report = analyze(instance)
+        order = report.constraints.topological_order()
+        assert sorted(order) == list(range(instance.n_indexes))
+
+
+# ----------------------------------------------------------------------
+# ConstraintSet algebra
+# ----------------------------------------------------------------------
+class TestConstraintSetProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.integers(min_value=0, max_value=9),
+            ),
+            max_size=12,
+        ),
+    )
+    def test_closure_is_transitive_and_acyclic(self, n, raw_edges):
+        from repro.errors import InfeasibleError, ValidationError
+
+        constraints = ConstraintSet(n)
+        for a, b in raw_edges:
+            if a >= n or b >= n or a == b:
+                continue
+            try:
+                constraints.add_precedence(a, b)
+            except InfeasibleError:
+                continue
+        # Transitivity.
+        for a in range(n):
+            for b in range(n):
+                for c in range(n):
+                    if constraints.is_before(a, b) and constraints.is_before(
+                        b, c
+                    ):
+                        assert constraints.is_before(a, c)
+        # Antisymmetry (acyclicity of the closure).
+        for a in range(n):
+            for b in range(n):
+                if a != b and constraints.is_before(a, b):
+                    assert not constraints.is_before(b, a)
+        # A witness order exists and satisfies everything.
+        order = constraints.topological_order()
+        position = {ix: pos for pos, ix in enumerate(order)}
+        for a in range(n):
+            for b in range(n):
+                if constraints.is_before(a, b):
+                    assert position[a] < position[b]

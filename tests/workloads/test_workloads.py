@@ -1,0 +1,171 @@
+"""Unit tests for the TPC-H / TPC-DS workload models and the generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.generator import GeneratorConfig, generate_instance
+from repro.workloads.tpch import tpch_catalog, tpch_workload
+from repro.workloads.tpcds import tpcds_catalog, tpcds_workload
+from repro.errors import ValidationError
+
+
+class TestTPCHCatalog:
+    def test_eight_tables(self):
+        catalog = tpch_catalog()
+        names = {t.name for t in catalog.tables}
+        assert names == {
+            "region",
+            "nation",
+            "supplier",
+            "customer",
+            "part",
+            "partsupp",
+            "orders",
+            "lineitem",
+        }
+
+    def test_official_cardinality_ratios(self):
+        catalog = tpch_catalog()
+        assert catalog.table("region").row_count == 5
+        assert catalog.table("nation").row_count == 25
+        orders = catalog.table("orders").row_count
+        lineitem = catalog.table("lineitem").row_count
+        customer = catalog.table("customer").row_count
+        assert orders == 10 * customer
+        assert 3.9 <= lineitem / orders <= 4.1
+
+    def test_scale_factor(self):
+        small = tpch_catalog(scale=1.0)
+        large = tpch_catalog(scale=2.0)
+        assert (
+            large.table("lineitem").row_count
+            == 2 * small.table("lineitem").row_count
+        )
+        # Fixed tables do not scale.
+        assert large.table("region").row_count == 5
+
+
+class TestTPCHWorkload:
+    def test_22_queries(self):
+        assert len(tpch_workload()) == 22
+
+    def test_queries_reference_catalog_columns(self):
+        catalog = tpch_catalog()
+        for query in tpch_workload():
+            for table_name in query.tables:
+                table = catalog.table(table_name)
+                for column in query.columns_needed(table_name):
+                    assert table.has_column(column), (
+                        f"{query.name}: {table_name}.{column}"
+                    )
+
+    def test_join_graphs_connected(self):
+        import networkx as nx
+
+        for query in tpch_workload():
+            if len(query.tables) == 1:
+                continue
+            graph = nx.Graph()
+            graph.add_nodes_from(query.tables)
+            for join in query.joins:
+                graph.add_edge(join.left, join.right)
+            assert nx.is_connected(graph), query.name
+
+
+class TestTPCDS:
+    def test_102_queries(self):
+        assert len(tpcds_workload()) == 102
+
+    def test_star_schema_tables_present(self):
+        catalog = tpcds_catalog()
+        names = {t.name for t in catalog.tables}
+        assert "store_sales" in names
+        assert "catalog_sales" in names
+        assert "web_sales" in names
+        assert "date_dim" in names
+        assert "item" in names
+
+    def test_queries_reference_catalog_columns(self):
+        catalog = tpcds_catalog()
+        for query in tpcds_workload():
+            for table_name in query.tables:
+                table = catalog.table(table_name)
+                for column in query.columns_needed(table_name):
+                    assert table.has_column(column), (
+                        f"{query.name}: {table_name}.{column}"
+                    )
+
+    def test_deterministic_workload(self):
+        first = tpcds_workload(seed=2012)
+        second = tpcds_workload(seed=2012)
+        assert [q.name for q in first] == [q.name for q in second]
+        assert [len(q.joins) for q in first] == [len(q.joins) for q in second]
+
+    def test_substantially_more_complex_than_tpch(self):
+        # The motivation for TPC-DS in the paper: bigger joins, more
+        # queries.
+        tpch_joins = sum(len(q.joins) for q in tpch_workload())
+        tpcds_joins = sum(len(q.joins) for q in tpcds_workload())
+        assert tpcds_joins > 2 * tpch_joins
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_instance(seed=3)
+        b = generate_instance(seed=3)
+        assert a.indexes == b.indexes
+        assert a.plans == b.plans
+
+    def test_different_seeds_differ(self):
+        a = generate_instance(seed=1)
+        b = generate_instance(seed=2)
+        assert a.plans != b.plans
+
+    def test_respects_shape_knobs(self):
+        config = GeneratorConfig(
+            n_indexes=15, n_queries=7, max_plan_size=3
+        )
+        instance = generate_instance(seed=0, config=config)
+        assert instance.n_indexes == 15
+        assert instance.n_queries == 7
+        assert all(len(p.indexes) <= 3 for p in instance.plans)
+
+    def test_every_query_has_a_plan(self):
+        instance = generate_instance(
+            seed=5, config=GeneratorConfig(n_queries=9)
+        )
+        for query in instance.queries:
+            assert instance.plans_of_query(query.query_id)
+
+    def test_build_interaction_rate(self):
+        sparse = generate_instance(
+            seed=0, config=GeneratorConfig(build_interaction_rate=0.0)
+        )
+        dense = generate_instance(
+            seed=0, config=GeneratorConfig(build_interaction_rate=3.0)
+        )
+        assert len(sparse.build_interactions) == 0
+        assert len(dense.build_interactions) > len(sparse.build_interactions)
+
+    def test_precedences_generated_acyclic(self):
+        from repro.core.validation import check_precedence_feasibility
+
+        instance = generate_instance(
+            seed=0,
+            config=GeneratorConfig(n_indexes=20, precedence_rate=10.0),
+        )
+        assert instance.precedences
+        check_precedence_feasibility(instance)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_instance(
+                seed=0, config=GeneratorConfig(n_indexes=0)
+            )
+
+    def test_instance_is_self_consistent(self):
+        # Every generated instance passes ProblemInstance validation by
+        # construction; additionally the custom name must be honoured.
+        instance = generate_instance(seed=7, name="custom")
+        assert instance.name == "custom"

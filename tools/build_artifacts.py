@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Regenerate the packaged matrix-file artifacts.
+
+Runs the full Figure-3 pipeline (catalog -> advisor -> what-if
+extraction) for the canonical TPC-H and TPC-DS configurations and writes
+the results to ``src/repro/workloads/data/``.  The artifacts are checked
+in so tests and benchmarks load instances in milliseconds instead of
+re-running the ~4-minute TPC-DS advisor pass.
+
+Usage::
+
+    python tools/build_artifacts.py [tpch] [tpcds]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.core.serialization import save_instance
+from repro.workloads.extracted import (
+    DATA_DIR,
+    build_tpcds_instance,
+    build_tpch_instance,
+)
+
+
+def main(argv: list) -> int:
+    targets = set(argv) or {"tpch", "tpcds"}
+    DATA_DIR.mkdir(parents=True, exist_ok=True)
+    if "tpch" in targets:
+        started = time.time()
+        instance = build_tpch_instance(cache_path=None)
+        save_instance(instance, DATA_DIR / "tpch.json")
+        print(
+            f"tpch: {instance.interaction_counts()} "
+            f"({time.time() - started:.1f}s)"
+        )
+    if "tpcds" in targets:
+        started = time.time()
+        instance = build_tpcds_instance(cache_path=None)
+        save_instance(instance, DATA_DIR / "tpcds.json")
+        print(
+            f"tpcds: {instance.interaction_counts()} "
+            f"({time.time() - started:.1f}s)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
