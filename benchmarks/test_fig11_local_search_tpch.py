@@ -8,6 +8,8 @@ at the final time point, not absolute objective values.
 
 from __future__ import annotations
 
+import re
+
 from repro.experiments import fig11
 from repro.experiments.harness import quick_mode
 
@@ -35,3 +37,15 @@ def test_fig11_local_search_tpch(benchmark, archive):
     # VNS must be competitive with the best method at the final point.
     best = min(final.values())
     assert final["VNS"] <= best * 1.05 + 0.5
+    # The tabu solvers run on the engine's delta path: the harness must
+    # report their statistics, and the move sequence must have replayed
+    # strictly fewer steps than PrefixCachedEvaluator would have.
+    stats_notes = [note for note in table.notes if note.startswith("engine[ts-")]
+    assert stats_notes, table.notes
+    for note in stats_notes:
+        match = re.search(
+            r"replayed (\d+) steps vs (\d+) prefix-cache baseline", note
+        )
+        assert match, note
+        replayed, baseline = int(match.group(1)), int(match.group(2))
+        assert replayed < baseline, note

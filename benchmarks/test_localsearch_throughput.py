@@ -1,0 +1,102 @@
+"""Local-search move-evaluation throughput: EvalEngine vs PrefixCached.
+
+The tentpole claim of the engine consolidation is that delta evaluation
+makes the fig11/fig12 hot path measurably faster than the checkpoint
+evaluator it replaced.  This benchmark pins that claim: the same swap
+sequence is evaluated by both backends, *interleaved in one process*
+(this machine's CPU frequency drifts between processes, so only
+same-process ratios are stable), and the engine must stay ahead.
+
+Two patterns are measured:
+
+* ``scan`` — the TS-BSwap pair scan (``pos_a`` ascending, ``pos_b``
+  inner), where cursor alignment is amortized to single steps and the
+  divergence window is the whole saving; this is the actual tabu hot
+  path.
+* ``random`` — uniformly random swaps, the worst case for cursor
+  alignment.
+
+Measured on the reference box: ~2.3x (scan) and ~1.3x (random).  The
+asserted floors are deliberately conservative to absorb machine noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.engine import EvalEngine
+from repro.core.objective import PrefixCachedEvaluator
+from repro.experiments.instances import tpch_instance
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_localsearch.json"
+
+
+def _interleaved_ratio(instance, moves, rounds: int) -> dict:
+    n = instance.n_indexes
+    base = list(range(n))
+    random.Random(0).shuffle(base)
+    engine = EvalEngine(instance)
+    engine.set_base(base)
+    cached = PrefixCachedEvaluator(instance)
+    cached.set_base(base)
+    engine_time = cached_time = 0.0
+    slice_n = max(1, len(moves) // 8)
+    for _ in range(rounds):
+        for start in range(0, len(moves), slice_n):
+            chunk = moves[start : start + slice_n]
+            t0 = time.perf_counter()
+            for pos_a, pos_b in chunk:
+                engine.eval_swap(pos_a, pos_b)
+            engine_time += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            for pos_a, pos_b in chunk:
+                cached.evaluate_swap(pos_a, pos_b)
+            cached_time += time.perf_counter() - t0
+    # Spot-check agreement on the last chunk so the ratio cannot be won
+    # by computing the wrong thing fast.
+    for pos_a, pos_b in moves[:25]:
+        assert engine.eval_swap(pos_a, pos_b) == pytest.approx(
+            cached.evaluate_swap(pos_a, pos_b), rel=1e-9
+        )
+    return {
+        "engine_seconds": engine_time,
+        "prefix_cached_seconds": cached_time,
+        "speedup": cached_time / engine_time if engine_time else float("inf"),
+        "moves": len(moves) * rounds,
+        "replayed_steps": engine.stats.replayed_steps,
+        "baseline_steps": engine.stats.baseline_steps,
+    }
+
+
+def test_engine_beats_prefix_cached_on_tabu_scan(benchmark):
+    instance = tpch_instance()
+    n = instance.n_indexes
+    scan = [(a, b) for a in range(n - 1) for b in range(a + 1, n)]
+    rng = random.Random(1)
+    randoms = [(rng.randrange(n), rng.randrange(n)) for _ in range(2000)]
+
+    def run():
+        return {
+            "scan": _interleaved_ratio(instance, scan, rounds=8),
+            "random": _interleaved_ratio(instance, randoms, rounds=3),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(results, indent=1) + "\n")
+    # The engine must replay fewer steps on the scan pattern it was
+    # built for (deterministic), and finish faster.  Wall-clock floors
+    # are conservative vs the measured ~2.3x / ~1.3x, and skipped on
+    # shared CI runners where scheduler jitter can distort even an
+    # interleaved ratio.
+    scan_stats = results["scan"]
+    assert scan_stats["replayed_steps"] < scan_stats["baseline_steps"]
+    if os.environ.get("GITHUB_ACTIONS") != "true":
+        assert scan_stats["speedup"] >= 1.3, scan_stats
+        assert results["random"]["speedup"] >= 0.9, results["random"]

@@ -1,32 +1,23 @@
 #!/usr/bin/env python
-"""Solver tour: every method in the library on one reduced instance.
+"""Solver tour: every registered method on one reduced instance.
 
-Runs the full solver lineup of the paper on a 10-index reduced TPC-H
-instance — exhaustive branch-and-bound, subset-lattice DP, A*, CP (with
-and without Section-5 constraints), time-indexed MIP, greedy, the
-Schnaitter DP heuristic, random sampling, two tabu searches, LNS, and
-VNS — and prints objective, optimality status, nodes, and time for
-each.
+The lineup is *enumerated from the solver registry* — adding a solver
+module that calls ``repro.solvers.registry.register`` makes it appear
+here (and in ``repro solve --solver``) with no further changes.  Each
+spec's capability flags pick the budget (exact methods get longer to
+prove optimality) and decide whether the Section-5 constraints are
+passed; the CP solver is additionally run once without them to show the
+constraints' effect, mirroring the paper's CP vs CP+ comparison.
 
 Run:  python examples/compare_solvers.py
 """
 
-from repro import (
-    AStarSolver,
-    Budget,
-    CPSolver,
-    DPSolver,
-    ExhaustiveSolver,
-    GreedySolver,
-    LNSSolver,
-    MIPSolver,
-    RandomSolver,
-    SubsetDPSolver,
-    TabuSolver,
-    VNSSolver,
-    analyze,
-)
+from repro import Budget, analyze
 from repro.experiments.instances import reduced_tpch
+from repro.solvers.registry import solver_specs
+
+#: Per-solver construction overrides (everything else runs stock).
+CONFIG = {"mip": {"steps_per_index": 2}}
 
 
 def main() -> None:
@@ -36,22 +27,24 @@ def main() -> None:
     report = analyze(instance, time_budget=5.0)
     print(f"pre-analysis: {report.describe()}\n")
 
-    budget = lambda seconds: Budget(time_limit=seconds)  # noqa: E731
-    lineup = [
-        ("exhaustive", ExhaustiveSolver(), None, 30.0),
-        ("subset-dp", SubsetDPSolver(), None, 30.0),
-        ("a*", AStarSolver(), None, 30.0),
-        ("cp", CPSolver(), None, 30.0),
-        ("cp+ (S5 constraints)", CPSolver(), report.constraints, 30.0),
-        ("mip (coarse grid)", MIPSolver(steps_per_index=2), None, 20.0),
-        ("greedy (Alg. 1)", GreedySolver(), None, 30.0),
-        ("dp (Alg. 2)", DPSolver(), None, 30.0),
-        ("random x100", RandomSolver(samples=100), None, 30.0),
-        ("ts-bswap", TabuSolver(variant="best"), report.constraints, 3.0),
-        ("ts-fswap", TabuSolver(variant="first"), report.constraints, 3.0),
-        ("lns", LNSSolver(seed=0), report.constraints, 3.0),
-        ("vns", VNSSolver(seed=0), report.constraints, 3.0),
-    ]
+    lineup = []
+    for name, spec in sorted(solver_specs().items()):
+        kwargs = CONFIG.get(name, {})
+        seconds = 30.0 if spec.exact else 3.0
+        if name == "mip":
+            seconds = 20.0
+        constraints = report.constraints if spec.supports_constraints else None
+        if spec.anytime and not spec.exact:
+            # Local search always benefits from the constraints.
+            lineup.append((name, spec.create(**kwargs), constraints, seconds))
+        elif name == "cp":
+            # Show the Section-5 effect: bare CP, then CP+.
+            lineup.append((name, spec.create(**kwargs), None, seconds))
+            lineup.append(
+                (f"{name}+ (S5)", spec.create(**kwargs), constraints, seconds)
+            )
+        else:
+            lineup.append((name, spec.create(**kwargs), None, seconds))
 
     print(
         f"{'method':<22}{'objective':>14}{'status':>12}"
@@ -59,7 +52,7 @@ def main() -> None:
     )
     best = None
     for name, solver, constraints, seconds in lineup:
-        result = solver.solve(instance, constraints, budget(seconds))
+        result = solver.solve(instance, constraints, Budget(time_limit=seconds))
         objective = result.objective
         if objective is not None and (best is None or objective < best):
             best = objective

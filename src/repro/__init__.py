@@ -34,6 +34,8 @@ from repro.analysis import AnalysisReport, ConstraintSet, analyze
 from repro.core import (
     BuildInteraction,
     DeploymentSchedule,
+    EngineStats,
+    EvalEngine,
     IndexDef,
     ObjectiveEvaluator,
     PlanDef,
@@ -64,6 +66,9 @@ from repro.solvers import (
     AStarSolver,
     Budget,
     CPSolver,
+    available_solvers,
+    create,
+    solver_specs,
     DPSolver,
     ExhaustiveSolver,
     GreedySolver,

@@ -30,35 +30,15 @@ from repro.core.instance import ProblemInstance
 from repro.core.objective import ObjectiveEvaluator, normalized_objective
 from repro.core.serialization import load_instance
 from repro.errors import ReproError
-from repro.solvers.astar import AStarSolver, SubsetDPSolver
 from repro.solvers.base import Budget, Solver
-from repro.solvers.cp.search import CPSolver
-from repro.solvers.dp import DPSolver
-from repro.solvers.exhaustive import ExhaustiveSolver
-from repro.solvers.greedy import GreedySolver
-from repro.solvers.localsearch.lns import LNSSolver
-from repro.solvers.localsearch.tabu import TabuSolver
-from repro.solvers.localsearch.vns import VNSSolver
-from repro.solvers.mip.branch_bound import MIPSolver
-from repro.solvers.random_search import RandomSolver
+from repro.solvers.registry import available_solvers, create, solver_specs
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "SOLVERS"]
 
-#: Solver names accepted by ``repro solve --solver``.
-SOLVERS = {
-    "greedy": GreedySolver,
-    "dp": DPSolver,
-    "random": RandomSolver,
-    "exhaustive": ExhaustiveSolver,
-    "subset-dp": SubsetDPSolver,
-    "astar": AStarSolver,
-    "cp": CPSolver,
-    "mip": MIPSolver,
-    "ts-bswap": lambda: TabuSolver(variant="best"),
-    "ts-fswap": lambda: TabuSolver(variant="first"),
-    "lns": LNSSolver,
-    "vns": VNSSolver,
-}
+#: Solver names accepted by ``repro solve --solver`` — the registry's
+#: name -> factory view.  Adding a solver module that calls
+#: ``registry.register`` makes it appear here with no CLI change.
+SOLVERS = {name: spec.factory for name, spec in solver_specs().items()}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,7 +53,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("matrix", help="path to a matrix JSON file")
     solve.add_argument(
         "--solver",
-        choices=sorted(SOLVERS),
+        choices=list(available_solvers()),
         default="vns",
         help="solution method (default: vns)",
     )
@@ -133,8 +113,7 @@ def _cmd_solve(args: argparse.Namespace, out) -> int:
         report = analyze(instance, time_budget=min(30.0, args.time_limit))
         constraints = report.constraints
         print(f"analysis: {report.describe()}", file=out)
-    solver_factory = SOLVERS[args.solver]
-    solver: Solver = solver_factory()
+    solver: Solver = create(args.solver)
     result = solver.solve(
         instance, constraints, Budget(time_limit=args.time_limit)
     )

@@ -7,6 +7,7 @@ Public surface:
   :class:`PrecedenceRule`),
 * objective evaluation (:class:`ObjectiveEvaluator`,
   :class:`PrefixCachedEvaluator`, :class:`DeploymentSchedule`),
+* the shared incremental evaluation backend (:class:`EvalEngine`),
 * solver results (:class:`Solution`, :class:`SolveResult`,
   :class:`SolveStatus`),
 * matrix-file I/O (:func:`save_instance`, :func:`load_instance`),
@@ -14,6 +15,12 @@ Public surface:
 """
 
 from repro.core.density import DENSITY_LEVELS, reduce_density
+from repro.core.engine import (
+    EngineStats,
+    EvalEngine,
+    PrefixCursor,
+    TranspositionTable,
+)
 from repro.core.instance import (
     BuildInteraction,
     IndexDef,
@@ -54,6 +61,10 @@ __all__ = [
     "DeploymentStep",
     "ObjectiveEvaluator",
     "PrefixCachedEvaluator",
+    "EngineStats",
+    "EvalEngine",
+    "PrefixCursor",
+    "TranspositionTable",
     "normalized_objective",
     "deploy_time_variant",
     "reweighted_variant",

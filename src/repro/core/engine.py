@@ -1,0 +1,626 @@
+"""Unified incremental evaluation engine shared by every solver.
+
+Historically each solver family paid for objective evaluation its own
+way: :class:`~repro.core.objective.ObjectiveEvaluator` replays the full
+order, :class:`~repro.core.objective.PrefixCachedEvaluator` replays
+from the nearest checkpoint to the *end* of the order, and the exact
+searches (A*, exhaustive branch-and-bound, CP) each re-derived runtime
+states and carried one of two duplicated suffix bounds.
+
+:class:`EvalEngine` is the single backend that replaces all of that.
+It owns the flattened instance arrays and provides three capabilities:
+
+1. **True delta evaluation** for local-search moves.  Bound to a base
+   order via :meth:`set_base`, the engine evaluates a swap / insert /
+   relocate by replaying only the *divergence window* of the move.  A
+   permutation move leaves the deployed *set* at every position past
+   the window identical to the base, and both the runtime ``R`` and the
+   best build-interaction saving depend only on that set — so every
+   suffix step contributes exactly what it contributed in the base
+   order and the engine early-exits by adding the precomputed base
+   suffix area.  :class:`~repro.core.objective.PrefixCachedEvaluator`
+   replays the whole tail instead; the per-move saving is the entire
+   suffix after the window.
+
+2. A **memo layer** keyed on frozen built-sets (bitmask-encoded): the
+   weighted total runtime of a built-set is cached across lookups, so
+   subset-lattice searches (A*, subset DP) and bound evaluations stop
+   recomputing identical states, and :class:`TranspositionTable`
+   lets branch-and-bound searches prune permutation prefixes that
+   reach an already-seen built-set at an equal-or-worse objective.
+
+3. A single **bound provider**: :meth:`suffix_bound` is the density
+   relaxation that previously lived in ``solvers.base.SuffixBound``
+   (with the weaker ``R_final * sum minC`` floor that previously lived
+   in ``ObjectiveEvaluator.lower_bound_suffix`` folded in as a floor).
+   All tree searches consume this one bound.
+
+Every capability records its work in :class:`EngineStats` so the
+experiment harness can report cache hits and replayed-step savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.instance import ProblemInstance
+from repro.errors import ValidationError
+
+__all__ = [
+    "EngineStats",
+    "EvalEngine",
+    "PrefixCursor",
+    "TranspositionTable",
+]
+
+#: Checkpoint stride of ``PrefixCachedEvaluator`` — used only to account
+#: the baseline "steps a prefix-cached replay would have executed" for
+#: the same move sequence, so the harness can report the delta saving.
+_BASELINE_STRIDE = 16
+
+BuiltSet = Union[int, Iterable[int]]
+
+
+@dataclass
+class EngineStats:
+    """Work counters for one :class:`EvalEngine`.
+
+    Attributes:
+        full_evals: Complete-order evaluations (full replay).
+        delta_evals: Move evaluations answered through the base-order
+            delta path.
+        prefix_evals: Partial-order evaluations served by the shared
+            prefix cursor (tree-search bound checks).
+        replayed_steps: Deployment steps actually replayed by the delta
+            path (cursor re-alignment plus divergence windows).
+        baseline_steps: Steps a ``PrefixCachedEvaluator`` with its
+            default checkpoint stride would have replayed for the same
+            move sequence (checkpoint-to-end per move).
+        prefix_steps: Steps replayed for state maintenance — tree-search
+            bound checks and ``set_base`` re-alignment.  Kept separate
+            from ``replayed_steps`` because the baseline excludes the
+            checkpoint evaluator's equivalent ``set_base`` replays too,
+            so the delta-vs-baseline comparison stays apples-to-apples.
+        memo_hits: Built-set runtime memo hits.
+        memo_misses: Built-set runtime memo misses.
+        tt_states: Distinct built-sets recorded by transposition tables.
+        tt_prunes: Search nodes pruned as transposition-dominated.
+    """
+
+    full_evals: int = 0
+    delta_evals: int = 0
+    prefix_evals: int = 0
+    replayed_steps: int = 0
+    baseline_steps: int = 0
+    prefix_steps: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    tt_states: int = 0
+    tt_prunes: int = 0
+
+    @property
+    def evaluations(self) -> int:
+        """Total objective evaluations of any kind."""
+        return self.full_evals + self.delta_evals + self.prefix_evals
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for experiment notes and logs."""
+        return {
+            "full_evals": self.full_evals,
+            "delta_evals": self.delta_evals,
+            "prefix_evals": self.prefix_evals,
+            "replayed_steps": self.replayed_steps,
+            "baseline_steps": self.baseline_steps,
+            "prefix_steps": self.prefix_steps,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "tt_states": self.tt_states,
+            "tt_prunes": self.tt_prunes,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in self.as_dict():
+            setattr(self, name, 0)
+
+
+class PrefixCursor:
+    """Mutable deployment state with O(1)-amortized push/pop.
+
+    The cursor holds the exact evaluation state (plan missing-counters,
+    per-query best speed-up, built flags, runtime, objective) after
+    deploying a stack of indexes, with undo records so a step can be
+    popped in O(touched plans).  Successive prefixes that share a common
+    stem cost only the difference — the mechanics behind both the
+    engine's delta evaluation and the CP/B&B prefix bound checks.
+    """
+
+    def __init__(self, engine: "EvalEngine") -> None:
+        self._e = engine
+        self._missing = engine.plan_size[:]
+        self._qbest = [0.0] * engine.instance.n_queries
+        self._built = bytearray(engine.n)
+        self.runtime = engine.base_runtime
+        self.objective = 0.0
+        self._stack: List[int] = []
+        self._undo: List[tuple] = []
+
+    @property
+    def depth(self) -> int:
+        """Number of deployed indexes on the cursor."""
+        return len(self._stack)
+
+    @property
+    def stack(self) -> Tuple[int, ...]:
+        """The deployed prefix, in order."""
+        return tuple(self._stack)
+
+    def push(self, index_id: int) -> None:
+        """Deploy ``index_id`` on top of the current prefix."""
+        e = self._e
+        built = self._built
+        best_saving = 0.0
+        for helper, saving in e.helpers[index_id]:
+            if built[helper] and saving > best_saving:
+                best_saving = saving
+        prev_objective = self.objective
+        prev_runtime = self.runtime
+        self.objective += self.runtime * (e.ctime[index_id] - best_saving)
+        built[index_id] = 1
+        runtime_delta = 0.0
+        completed: List[tuple] = []
+        missing = self._missing
+        qbest = self._qbest
+        for plan_id in e.plans_of_index[index_id]:
+            missing[plan_id] -= 1
+            if missing[plan_id] == 0:
+                query_id = e.plan_query[plan_id]
+                speedup = e.plan_speedup[plan_id]
+                if speedup > qbest[query_id]:
+                    runtime_delta += (speedup - qbest[query_id]) * e.qweight[
+                        query_id
+                    ]
+                    completed.append((query_id, qbest[query_id]))
+                    qbest[query_id] = speedup
+        self.runtime -= runtime_delta
+        self._stack.append(index_id)
+        # Undo restores the exact prior floats (no subtract-back drift).
+        self._undo.append((prev_objective, prev_runtime, completed))
+
+    def pop(self) -> int:
+        """Un-deploy the most recent index; returns its id."""
+        index_id = self._stack.pop()
+        prev_objective, prev_runtime, completed = self._undo.pop()
+        for query_id, previous in reversed(completed):
+            self._qbest[query_id] = previous
+        self.runtime = prev_runtime
+        for plan_id in self._e.plans_of_index[index_id]:
+            self._missing[plan_id] += 1
+        self._built[index_id] = 0
+        self.objective = prev_objective
+        return index_id
+
+    def align(self, prefix: Sequence[int]) -> int:
+        """Make the cursor state equal ``prefix``; returns pushes done."""
+        stack = self._stack
+        common = 0
+        limit = min(len(prefix), len(stack))
+        while common < limit and stack[common] == prefix[common]:
+            common += 1
+        while len(stack) > common:
+            self.pop()
+        pushes = 0
+        for index_id in prefix[common:]:
+            self.push(index_id)
+            pushes += 1
+        return pushes
+
+
+class TranspositionTable:
+    """Best known prefix objective per built-set, for dominance pruning.
+
+    The suffix cost of a deployment depends only on the built *set*
+    (both the runtime and every build-interaction saving are functions
+    of the set), so a permutation-prefix that reaches a set already
+    reached at an equal-or-better objective cannot lead anywhere new.
+    One table is valid for one search (constraints restrict which
+    prefixes are feasible, so tables must not be shared across solves
+    with different constraint sets).
+    """
+
+    def __init__(self, stats: Optional[EngineStats] = None) -> None:
+        self._best: Dict[int, float] = {}
+        self._stats = stats
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    def dominated(self, mask: int, objective: float) -> bool:
+        """True (and prune) if ``mask`` was reached at <= ``objective``.
+
+        Otherwise records ``objective`` as the new best for ``mask``.
+        """
+        best = self._best.get(mask)
+        if best is not None and objective >= best - 1e-15:
+            if self._stats is not None:
+                self._stats.tt_prunes += 1
+            return True
+        if best is None and self._stats is not None:
+            self._stats.tt_states += 1
+        self._best[mask] = objective
+        return False
+
+
+class EvalEngine:
+    """One evaluation backend shared by every solver over one instance."""
+
+    def __init__(self, instance: ProblemInstance) -> None:
+        self.instance = instance
+        self.n = instance.n_indexes
+        # Flattened instance arrays — the one copy every consumer shares.
+        self.plan_query = [p.query_id for p in instance.plans]
+        self.plan_speedup = [p.speedup for p in instance.plans]
+        self.plan_size = [len(p.indexes) for p in instance.plans]
+        self.plans_of_index = [
+            list(instance.plans_containing(i)) for i in range(self.n)
+        ]
+        self.helpers = [list(instance.build_helpers(i)) for i in range(self.n)]
+        self.ctime = [ix.create_cost for ix in instance.indexes]
+        self.qweight = [q.weight for q in instance.queries]
+        self.base_runtime = instance.total_base_runtime
+        self.stats = EngineStats()
+        # Built-set memo (bitmask -> weighted total runtime).
+        self._mask_runtime: Dict[int, float] = {}
+        # Base-order delta state.
+        self._base: Optional[Tuple[int, ...]] = None
+        self._base_pos: Dict[int, int] = {}
+        self._base_obj_prefix: List[float] = [0.0]
+        self._base_cursor = PrefixCursor(self)
+        # Arbitrary-prefix cursor for tree-search bound checks (kept
+        # separate so prefix_state() never disturbs the delta base).
+        self._path_cursor: Optional[PrefixCursor] = None
+        # Bound-provider data, built on first use.
+        self._bound_ready = False
+
+    # ------------------------------------------------------------------
+    # Full evaluation
+    # ------------------------------------------------------------------
+    def check_order(self, order: Sequence[int]) -> None:
+        """Raise :class:`ValidationError` unless ``order`` is a permutation."""
+        if len(order) != self.n or set(order) != set(range(self.n)):
+            raise ValidationError(
+                f"order must be a permutation of 0..{self.n - 1}, got {order!r}"
+            )
+
+    def evaluate(self, order: Sequence[int]) -> float:
+        """Objective of a complete order (full replay)."""
+        self.check_order(order)
+        self.stats.full_evals += 1
+        objective, _, _ = self._replay(order)
+        return objective
+
+    def evaluate_prefix(
+        self, prefix: Sequence[int]
+    ) -> Tuple[float, float, float]:
+        """``(objective, runtime, elapsed)`` after a partial order."""
+        self.stats.prefix_evals += 1
+        return self._replay(prefix)
+
+    def _replay(self, seq: Sequence[int]) -> Tuple[float, float, float]:
+        missing = self.plan_size[:]
+        qbest = [0.0] * self.instance.n_queries
+        built = bytearray(self.n)
+        runtime = self.base_runtime
+        objective = 0.0
+        elapsed = 0.0
+        plan_query = self.plan_query
+        plan_speedup = self.plan_speedup
+        qweight = self.qweight
+        for index_id in seq:
+            best_saving = 0.0
+            for helper, saving in self.helpers[index_id]:
+                if built[helper] and saving > best_saving:
+                    best_saving = saving
+            actual = self.ctime[index_id] - best_saving
+            objective += runtime * actual
+            elapsed += actual
+            built[index_id] = 1
+            for plan_id in self.plans_of_index[index_id]:
+                missing[plan_id] -= 1
+                if missing[plan_id] == 0:
+                    query_id = plan_query[plan_id]
+                    speedup = plan_speedup[plan_id]
+                    if speedup > qbest[query_id]:
+                        runtime -= (speedup - qbest[query_id]) * qweight[
+                            query_id
+                        ]
+                        qbest[query_id] = speedup
+        return objective, runtime, elapsed
+
+    def prefix_state(self, prefix: Sequence[int]) -> Tuple[float, float]:
+        """``(objective, runtime)`` of a prefix via the shared cursor.
+
+        Successive calls that share a stem (a DFS walking its tree) pay
+        only for the differing steps.
+        """
+        if self._path_cursor is None:
+            self._path_cursor = PrefixCursor(self)
+        self.stats.prefix_evals += 1
+        cursor = self._path_cursor
+        self.stats.prefix_steps += cursor.align(prefix)
+        return cursor.objective, cursor.runtime
+
+    # ------------------------------------------------------------------
+    # Base-order delta evaluation
+    # ------------------------------------------------------------------
+    @property
+    def base_order(self) -> Optional[Tuple[int, ...]]:
+        """The order delta moves are relative to, or ``None``."""
+        return self._base
+
+    @property
+    def base_objective(self) -> float:
+        """Objective of the base order (``set_base`` must have run)."""
+        if self._base is None:
+            raise ValidationError("set_base() has not been called")
+        return self._base_obj_prefix[-1]
+
+    def set_base(self, order: Sequence[int]) -> float:
+        """Adopt ``order`` as the delta base; returns its objective.
+
+        Re-basing onto an order that shares a prefix with the previous
+        base (a local-search step) replays only the differing suffix.
+        """
+        self.check_order(order)
+        self._base = tuple(order)
+        self._base_pos = {ix: pos for pos, ix in enumerate(order)}
+        cursor = self._base_cursor
+        self.stats.prefix_steps += cursor.align(self._base)
+        # Per-position objective prefix sums enable the suffix early-exit:
+        # _base_obj_prefix[k] is the objective after the first k steps.
+        # The cursor's undo records hold the pre-push objective of every
+        # base step, which is exactly that prefix sum.
+        undo = cursor._undo
+        prefix = [undo[k][0] for k in range(self.n)]
+        prefix.append(cursor.objective)
+        self._base_obj_prefix = prefix
+        self.stats.full_evals += 1
+        return prefix[-1]
+
+    def eval_swap(self, pos_a: int, pos_b: int) -> float:
+        """Objective of the base with positions ``pos_a``/``pos_b`` swapped."""
+        base = self._require_base()
+        self._check_position(pos_a)
+        self._check_position(pos_b)
+        if pos_a == pos_b:
+            self.stats.delta_evals += 1
+            return self.base_objective
+        if pos_a > pos_b:
+            pos_a, pos_b = pos_b, pos_a
+        window = list(base[pos_a : pos_b + 1])
+        window[0], window[-1] = window[-1], window[0]
+        return self._eval_window(pos_a, pos_b, window)
+
+    def eval_relocate(self, src: int, dst: int) -> float:
+        """Objective of the base with the index at ``src`` moved to ``dst``."""
+        base = self._require_base()
+        self._check_position(src)
+        self._check_position(dst)
+        if src == dst:
+            self.stats.delta_evals += 1
+            return self.base_objective
+        if src < dst:
+            window = list(base[src + 1 : dst + 1]) + [base[src]]
+            return self._eval_window(src, dst, window)
+        window = [base[src]] + list(base[dst:src])
+        return self._eval_window(dst, src, window)
+
+    def eval_insert(self, index_id: int, dst: int) -> float:
+        """Objective of the base with ``index_id`` re-inserted at ``dst``."""
+        self._require_base()
+        try:
+            src = self._base_pos[index_id]
+        except KeyError:
+            raise ValidationError(
+                f"index {index_id} is not in the base order"
+            ) from None
+        return self.eval_relocate(src, dst)
+
+    def evaluate_neighbor(self, order: Sequence[int]) -> float:
+        """Objective of any permutation, replaying only its divergence window."""
+        base = self._require_base()
+        n = self.n
+        if len(order) != n:
+            raise ValidationError(f"order must have length {n}, got {len(order)}")
+        first = 0
+        while first < n and order[first] == base[first]:
+            first += 1
+        if first == n:
+            self.stats.delta_evals += 1
+            return self.base_objective
+        last = n - 1
+        while order[last] == base[last]:
+            last -= 1
+        window = list(order[first : last + 1])
+        if sorted(window) != sorted(base[first : last + 1]):
+            raise ValidationError(
+                "order is not a permutation of the base order"
+            )
+        return self._eval_window(first, last, window)
+
+    def _require_base(self) -> Tuple[int, ...]:
+        if self._base is None:
+            raise ValidationError("set_base() must be called before delta moves")
+        return self._base
+
+    def _check_position(self, position: int) -> None:
+        if not 0 <= position < self.n:
+            raise ValidationError(
+                f"position must be in 0..{self.n - 1}, got {position}"
+            )
+
+    def _eval_window(self, first: int, last: int, window: List[int]) -> float:
+        """Replay ``window`` over base positions ``first..last`` inclusive.
+
+        Past ``last`` the deployed set equals the base's at the same
+        position, so the suffix contributes its base area unchanged —
+        the early exit that distinguishes the engine from a
+        checkpoint-replay evaluator.
+
+        The base cursor is aligned (amortized: a scan of moves sharing a
+        prefix re-aligns by single steps) and the window itself replays
+        on throwaway scratch state, so a move evaluation allocates no
+        undo records and never pops back.
+        """
+        base = self._base
+        cursor = self._base_cursor
+        replayed = 0
+        while cursor.depth > first:
+            cursor.pop()
+        while cursor.depth < first:
+            cursor.push(base[cursor.depth])
+            replayed += 1
+        # Scratch replay of the window from the cursor's state.
+        missing = cursor._missing[:]
+        qbest = cursor._qbest[:]
+        built = bytearray(cursor._built)
+        runtime = cursor.runtime
+        objective = cursor.objective
+        plan_query = self.plan_query
+        plan_speedup = self.plan_speedup
+        plans_of_index = self.plans_of_index
+        helpers = self.helpers
+        ctime = self.ctime
+        qweight = self.qweight
+        for index_id in window:
+            best_saving = 0.0
+            for helper, saving in helpers[index_id]:
+                if built[helper] and saving > best_saving:
+                    best_saving = saving
+            objective += runtime * (ctime[index_id] - best_saving)
+            built[index_id] = 1
+            for plan_id in plans_of_index[index_id]:
+                missing[plan_id] -= 1
+                if missing[plan_id] == 0:
+                    query_id = plan_query[plan_id]
+                    speedup = plan_speedup[plan_id]
+                    if speedup > qbest[query_id]:
+                        runtime -= (speedup - qbest[query_id]) * qweight[
+                            query_id
+                        ]
+                        qbest[query_id] = speedup
+        replayed += len(window)
+        objective += (
+            self._base_obj_prefix[self.n] - self._base_obj_prefix[last + 1]
+        )
+        stats = self.stats
+        stats.delta_evals += 1
+        stats.replayed_steps += replayed
+        # What PrefixCachedEvaluator(stride=16) would have replayed for
+        # the same candidate: nearest checkpoint at/before the first
+        # divergence, then the entire tail.
+        checkpoint = (first // _BASELINE_STRIDE) * _BASELINE_STRIDE
+        stats.baseline_steps += self.n - checkpoint
+        return objective
+
+    # ------------------------------------------------------------------
+    # Built-set memo layer
+    # ------------------------------------------------------------------
+    @staticmethod
+    def mask_of(built: Iterable[int]) -> int:
+        """Bitmask encoding of an iterable of index ids."""
+        mask = 0
+        for index_id in built:
+            mask |= 1 << index_id
+        return mask
+
+    def runtime_of(self, built: BuiltSet) -> float:
+        """Weighted total runtime for a built-set (memoized on bitmask)."""
+        mask = built if isinstance(built, int) else self.mask_of(built)
+        cached = self._mask_runtime.get(mask)
+        if cached is not None:
+            self.stats.memo_hits += 1
+            return cached
+        self.stats.memo_misses += 1
+        members = {i for i in range(self.n) if mask >> i & 1}
+        value = self.instance.total_runtime(members)
+        self._mask_runtime[mask] = value
+        return value
+
+    def build_cost_in(self, index_id: int, built: BuiltSet) -> float:
+        """Build cost of ``index_id`` given a built-set (best helper applied)."""
+        best_saving = 0.0
+        if isinstance(built, int):
+            for helper, saving in self.helpers[index_id]:
+                if built >> helper & 1 and saving > best_saving:
+                    best_saving = saving
+        else:
+            built_set = set(built)
+            for helper, saving in self.helpers[index_id]:
+                if helper in built_set and saving > best_saving:
+                    best_saving = saving
+        return self.ctime[index_id] - best_saving
+
+    def new_transposition_table(self) -> TranspositionTable:
+        """Fresh per-search transposition table wired to this engine's stats."""
+        return TranspositionTable(self.stats)
+
+    # ------------------------------------------------------------------
+    # Bound provider
+    # ------------------------------------------------------------------
+    def _ensure_bound_data(self) -> None:
+        if self._bound_ready:
+            return
+        instance = self.instance
+        n = self.n
+        self.min_cost = [instance.min_build_cost(i) for i in range(n)]
+        self.final_runtime = self.runtime_of((1 << n) - 1)
+        s_max = [0.0] * n
+        for query in instance.queries:
+            best_with: Dict[int, float] = {}
+            for plan_id in instance.plans_of_query(query.query_id):
+                plan = instance.plans[plan_id]
+                value = plan.speedup * query.weight
+                for member in plan.indexes:
+                    if value > best_with.get(member, 0.0):
+                        best_with[member] = value
+            for member, value in best_with.items():
+                s_max[member] += value
+        self.s_max = s_max
+        self.density_order = sorted(
+            range(n),
+            key=lambda i: -(s_max[i] / max(self.min_cost[i], 1e-12)),
+        )
+        self._bound_ready = True
+
+    def suffix_bound(self, runtime_now: float, built: BuiltSet) -> float:
+        """Admissible lower bound on the objective of any suffix.
+
+        Relaxation: every remaining index ``i`` costs its minimum
+        possible build cost ``minC(i)`` and drops the runtime by its
+        maximum possible marginal speed-up ``S_max(i)``.  With fixed
+        per-item costs and drops, the density-descending order
+        (``S_max / minC``) minimizes the staircase area — a classic
+        exchange argument — and that minimum lower-bounds the true
+        suffix area of every feasible completion.  The simple bound
+        ``R_final * sum minC`` is taken as a floor (the max of two
+        admissible bounds is admissible).
+        """
+        self._ensure_bound_data()
+        if not isinstance(built, int):
+            built = self.mask_of(built)
+        relaxed = 0.0
+        runtime = runtime_now
+        simple = 0.0
+        min_cost = self.min_cost
+        s_max = self.s_max
+        final_runtime = self.final_runtime
+        for index_id in self.density_order:
+            if built >> index_id & 1:
+                continue
+            cost = min_cost[index_id]
+            relaxed += runtime * cost
+            simple += final_runtime * cost
+            runtime -= s_max[index_id]
+        return max(relaxed, simple)

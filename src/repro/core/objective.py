@@ -19,13 +19,19 @@ Two evaluators are provided:
 * :class:`PrefixCachedEvaluator` — bound to a *base order*, it snapshots
   evaluation state at regular checkpoints so that the objective of a
   nearby order (e.g. after a swap) is computed by replaying only the
-  changed suffix.  This is the hot path of the local-search solvers.
+  changed suffix.
+
+The production hot path of every solver is
+:class:`repro.core.engine.EvalEngine`, which additionally early-exits
+once a move's divergence window closes and memoizes built-set states;
+the evaluators here remain the independent reference implementation the
+parity tests pin the engine against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.instance import ProblemInstance
 from repro.errors import ValidationError
@@ -279,27 +285,6 @@ class ObjectiveEvaluator:
             )
             elapsed += actual
         return DeploymentSchedule(tuple(order), tuple(steps), objective)
-
-    # ------------------------------------------------------------------
-    def lower_bound_suffix(self, built: Iterable[int], remaining: Iterable[int]) -> float:
-        """Admissible lower bound on the objective of any suffix.
-
-        Every remaining index costs at least its minimum build cost, and
-        the runtime multiplying it is at least the runtime with *all*
-        indexes deployed.  Used by exhaustive/A*/CP pruning.
-        """
-        final_runtime = self._final_runtime
-        return sum(
-            final_runtime * self.instance.min_build_cost(i) for i in remaining
-        )
-
-    @property
-    def _final_runtime(self) -> float:
-        cached = getattr(self, "_final_runtime_cache", None)
-        if cached is None:
-            cached = self.instance.total_runtime(range(self._n))
-            self._final_runtime_cache = cached
-        return cached
 
 
 class PrefixCachedEvaluator:

@@ -15,12 +15,16 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.fixpoint import analyze
 from repro.core.instance import ProblemInstance
 from repro.core.objective import normalized_objective
-from repro.experiments.harness import ResultTable, quick_mode
+from repro.experiments.harness import (
+    ResultTable,
+    engine_stats_note,
+    make_solver,
+    quick_mode,
+)
 from repro.experiments.instances import tpch_instance
 from repro.solvers.base import Budget
-from repro.solvers.cp import CPSolver
 from repro.solvers.greedy import greedy_order
-from repro.solvers.localsearch import LNSSolver, TabuSolver, VNSSolver
+from repro.solvers.registry import get_spec
 
 __all__ = ["run", "local_search_traces"]
 
@@ -30,32 +34,43 @@ def local_search_traces(
     methods: Sequence[str],
     time_limit: float,
     seeds: Sequence[int] = (0,),
+    stats_out: Optional[Dict[str, Dict[str, int]]] = None,
 ) -> Dict[str, List[List[tuple]]]:
-    """Run each method from the shared greedy start; return raw traces."""
+    """Run each method from the shared greedy start; return raw traces.
+
+    Methods are resolved through the solver registry; capability flags
+    decide which keywords a method receives (warm start, seed).  When
+    ``stats_out`` is given, each method's accumulated engine counters
+    are stored under its name.
+    """
     report = analyze(instance, time_budget=min(10.0, time_limit))
     constraints = report.constraints
     initial = greedy_order(instance, constraints)
     traces: Dict[str, List[List[tuple]]] = {}
     for method in methods:
+        spec = get_spec(method)
         runs: List[List[tuple]] = []
+        totals: Dict[str, int] = {}
         for seed in seeds:
-            if method == "vns":
-                solver = VNSSolver(seed=seed, initial_order=initial)
-            elif method == "lns":
-                solver = LNSSolver(seed=seed, initial_order=initial)
-            elif method == "ts-bswap":
-                solver = TabuSolver(variant="best", initial_order=initial)
-            elif method == "ts-fswap":
-                solver = TabuSolver(variant="first", initial_order=initial)
-            elif method == "cp":
-                solver = CPSolver(strategy="sequential")
-            else:
-                raise ValueError(f"unknown method {method!r}")
+            kwargs: Dict[str, object] = {}
+            if spec.accepts_initial_order:
+                kwargs["initial_order"] = initial
+            if spec.stochastic:
+                kwargs["seed"] = seed
+            if method == "cp":
+                kwargs["strategy"] = "sequential"
+            solver = make_solver(method, **kwargs)
             result = solver.solve(
                 instance, constraints, Budget(time_limit=time_limit)
             )
             runs.append(list(result.trace))
+            run_stats = getattr(solver, "last_engine_stats", None)
+            if run_stats:
+                for key, value in run_stats.items():
+                    totals[key] = totals.get(key, 0) + value
         traces[method] = runs
+        if stats_out is not None and totals:
+            stats_out[method] = totals
     return traces
 
 
@@ -88,8 +103,10 @@ def run(
         n_runs = 2 if quick else 5
     instance = tpch_instance()
     methods = ["vns", "lns", "ts-bswap", "ts-fswap", "cp"]
+    engine_stats: Dict[str, Dict[str, int]] = {}
     traces = local_search_traces(
-        instance, methods, time_limit, seeds=range(n_runs)
+        instance, methods, time_limit, seeds=range(n_runs),
+        stats_out=engine_stats,
     )
     time_points = [time_limit * f for f in (0.1, 0.25, 0.5, 0.75, 1.0)]
     table = ResultTable(
@@ -114,6 +131,10 @@ def run(
         "paper shape: VNS/TS-BSwap lead, LNS lags (fixed neighborhood), "
         "CP barely improves on the greedy start"
     )
+    for method in methods:
+        note = engine_stats_note(method, engine_stats.get(method))
+        if note is not None:
+            table.add_note(note)
     return table
 
 if __name__ == "__main__":

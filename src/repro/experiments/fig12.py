@@ -10,12 +10,16 @@ model-size guard.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.core.objective import normalized_objective
 from repro.core.solution import SolveStatus
 from repro.experiments.fig11 import local_search_traces, sample_trace
-from repro.experiments.harness import ResultTable, quick_mode
+from repro.experiments.harness import (
+    ResultTable,
+    engine_stats_note,
+    quick_mode,
+)
 from repro.experiments.instances import tpcds_instance
 from repro.solvers.base import Budget
 from repro.solvers.mip import MIPSolver
@@ -34,8 +38,10 @@ def run(
         n_runs = 1 if quick else 3
     instance = tpcds_instance()
     methods = ["vns", "ts-bswap", "ts-fswap", "cp"]
+    engine_stats: Dict[str, Dict[str, int]] = {}
     traces = local_search_traces(
-        instance, methods, time_limit, seeds=range(n_runs)
+        instance, methods, time_limit, seeds=range(n_runs),
+        stats_out=engine_stats,
     )
     time_points = [time_limit * f for f in (0.1, 0.25, 0.5, 0.75, 1.0)]
     table = ResultTable(
@@ -64,6 +70,10 @@ def run(
         "paper shape: VNS best at every time range; TS-BSwap strong but "
         "slow per iteration; CP stuck at the greedy start"
     )
+    for method in methods:
+        note = engine_stats_note(method, engine_stats.get(method))
+        if note is not None:
+            table.add_note(note)
     return table
 
 if __name__ == "__main__":

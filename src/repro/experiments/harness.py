@@ -14,7 +14,14 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-__all__ = ["ResultTable", "format_cell", "quick_mode", "DF"]
+__all__ = [
+    "ResultTable",
+    "format_cell",
+    "quick_mode",
+    "DF",
+    "make_solver",
+    "engine_stats_note",
+]
 
 #: Marker string matching the paper's "did not finish" cells.
 DF = "DF"
@@ -23,6 +30,53 @@ DF = "DF"
 def quick_mode() -> bool:
     """True unless ``REPRO_FULL=1`` requests full-budget experiments."""
     return os.environ.get("REPRO_FULL", "0") != "1"
+
+
+def make_solver(name: str, **kwargs):
+    """Resolve a solver by registry name (experiment-layer entry point).
+
+    Every experiment runner constructs solvers through this single
+    hook, so the name -> implementation mapping lives in one place
+    (:mod:`repro.solvers.registry`).
+    """
+    from repro.solvers.registry import create
+
+    return create(name, **kwargs)
+
+
+def engine_stats_note(label: str, stats: Optional[Dict[str, int]]) -> Optional[str]:
+    """Render one solver's :class:`EngineStats` dict as a table note.
+
+    The fig11/fig12 benchmarks parse this format to assert the delta
+    path replays strictly fewer steps than a checkpoint evaluator
+    would; keep the ``replayed N steps vs M prefix-cache baseline``
+    phrasing stable.
+    """
+    if not stats:
+        return None
+    parts = [f"engine[{label}]:"]
+    if stats.get("delta_evals"):
+        saved = stats["baseline_steps"] - stats["replayed_steps"]
+        pct = (
+            100.0 * saved / stats["baseline_steps"]
+            if stats.get("baseline_steps")
+            else 0.0
+        )
+        parts.append(
+            f"{stats['delta_evals']} delta evals, "
+            f"replayed {stats['replayed_steps']} steps vs "
+            f"{stats['baseline_steps']} prefix-cache baseline "
+            f"({pct:.0f}% saved)"
+        )
+    else:
+        parts.append(f"{stats.get('full_evals', 0)} full evals")
+    if stats.get("memo_hits") or stats.get("memo_misses"):
+        parts.append(
+            f"memo {stats['memo_hits']}/{stats['memo_hits'] + stats['memo_misses']} hits"
+        )
+    if stats.get("tt_prunes"):
+        parts.append(f"{stats['tt_prunes']} transposition prunes")
+    return " ".join(parts)
 
 
 def format_cell(value: Any) -> str:

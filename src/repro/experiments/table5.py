@@ -18,12 +18,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.fixpoint import analyze
 from repro.core.instance import ProblemInstance
 from repro.core.solution import SolveResult, SolveStatus
-from repro.experiments.harness import DF, ResultTable, quick_mode
+from repro.experiments.harness import (
+    DF,
+    ResultTable,
+    engine_stats_note,
+    make_solver,
+    quick_mode,
+)
 from repro.experiments.instances import reduced_tpch
 from repro.solvers.base import Budget
-from repro.solvers.cp import CPSolver
-from repro.solvers.localsearch import VNSSolver
-from repro.solvers.mip import MIPSolver
 
 __all__ = ["run", "solve_cell", "default_grid"]
 
@@ -39,31 +42,35 @@ def solve_cell(
     method: str,
     instance: ProblemInstance,
     time_limit: float,
+    stats_out: Optional[Dict[str, int]] = None,
 ) -> SolveResult:
-    """Run one method on one reduced instance."""
+    """Run one method on one reduced instance.
+
+    Solvers are resolved through the registry; ``method+`` means "with
+    the Section-5 pre-analysis constraints".  When ``stats_out`` is
+    given, the solver's engine counters are accumulated into it.
+    """
     budget = Budget(time_limit=time_limit)
-    if method == "mip":
-        return MIPSolver(steps_per_index=3).solve(instance, budget=budget)
-    if method == "cp":
-        return CPSolver(strategy="sequential").solve(instance, budget=budget)
-    if method in ("mip+", "cp+"):
+    constraints = None
+    base = method.rstrip("+")
+    if method.endswith("+") or method == "vns":
         report = analyze(instance, time_budget=min(10.0, time_limit))
         constraints = report.constraints
-        if method == "mip+":
-            return MIPSolver(steps_per_index=3).solve(
-                instance, constraints, budget
-            )
-        return CPSolver(strategy="sequential").solve(
-            instance, constraints, budget
-        )
-    if method == "vns":
-        report = analyze(instance, time_budget=min(10.0, time_limit))
-        return VNSSolver().solve(
-            instance,
-            report.constraints,
-            Budget(time_limit=min(time_limit, 3.0)),
-        )
-    raise ValueError(f"unknown method {method!r}")
+    if base == "mip":
+        solver = make_solver("mip", steps_per_index=3)
+    elif base == "cp":
+        solver = make_solver("cp", strategy="sequential")
+    elif base == "vns":
+        solver = make_solver("vns")
+        budget = Budget(time_limit=min(time_limit, 3.0))
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    result = solver.solve(instance, constraints, budget)
+    run_stats = getattr(solver, "last_engine_stats", None)
+    if stats_out is not None and run_stats:
+        for key, value in run_stats.items():
+            stats_out[key] = stats_out.get(key, 0) + value
+    return result
 
 
 def run(
@@ -85,11 +92,14 @@ def run(
     )
     optima: Dict[Tuple[int, str], float] = {}
     results: Dict[str, List[str]] = {}
+    method_stats: Dict[str, Dict[str, int]] = {}
     for method in ("mip", "cp", "mip+", "cp+", "vns"):
         cells: List[str] = []
+        stats: Dict[str, int] = {}
+        method_stats[method] = stats
         for size, density in columns:
             instance = reduced_tpch(size, density)
-            result = solve_cell(method, instance, time_limit)
+            result = solve_cell(method, instance, time_limit, stats_out=stats)
             cell = _format_result(result)
             if result.status is SolveStatus.OPTIMAL and result.objective is not None:
                 key = (size, density)
@@ -108,6 +118,10 @@ def run(
         "constraints (+) rescue them by orders of magnitude; VNS is "
         "instant at every size"
     )
+    for method, stats in method_stats.items():
+        note = engine_stats_note(method, stats)
+        if note is not None:
+            table.add_note(note)
     return table
 
 

@@ -7,6 +7,10 @@
   :class:`MIPSolver` (Appendix B).
 * Local search: :class:`TabuSolver` (BSwap/FSwap), :class:`LNSSolver`,
   :class:`VNSSolver` (Section 7).
+
+Every solver registers itself with :mod:`repro.solvers.registry`; the
+CLI, experiment harness, and examples resolve solvers by name through
+:func:`repro.solvers.registry.create`.
 """
 
 from repro.solvers.astar import AStarSolver, SubsetDPSolver
@@ -18,8 +22,24 @@ from repro.solvers.greedy import GreedySolver, greedy_order
 from repro.solvers.localsearch import LNSSolver, TabuSolver, VNSSolver
 from repro.solvers.mip import MIPSolver
 from repro.solvers.random_search import RandomSolver, random_statistics
+from repro.solvers.registry import (
+    SolverSpec,
+    available_solvers,
+    create,
+    get_spec,
+    register,
+    register_factory,
+    solver_specs,
+)
 
 __all__ = [
+    "SolverSpec",
+    "available_solvers",
+    "create",
+    "get_spec",
+    "register",
+    "register_factory",
+    "solver_specs",
     "Budget",
     "Solver",
     "glue_consecutive",

@@ -25,10 +25,12 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.constraints import ConstraintSet
+from repro.core.engine import EvalEngine
 from repro.core.instance import ProblemInstance
 from repro.core.solution import Solution, SolveResult, SolveStatus
 from repro.errors import ValidationError
-from repro.solvers.base import Budget, Solver, SuffixBound
+from repro.solvers.base import Budget, Solver
+from repro.solvers.registry import register
 
 __all__ = ["SubsetDPSolver", "AStarSolver"]
 
@@ -62,15 +64,22 @@ def _deployment_units(
 
 
 class _Lattice:
-    """Shared machinery for subset-lattice search."""
+    """Shared machinery for subset-lattice search.
+
+    Runtime states and the admissible remaining-area bound come from the
+    shared :class:`EvalEngine`, so the built-set memo survives across
+    searches that reuse one engine.
+    """
 
     def __init__(
         self,
         instance: ProblemInstance,
         constraints: Optional[ConstraintSet],
+        engine: Optional[EvalEngine] = None,
     ) -> None:
         self.instance = instance
         self.constraints = constraints
+        self.engine = engine if engine is not None else EvalEngine(instance)
         self.n = instance.n_indexes
         self.units = _deployment_units(self.n, constraints)
         self.unit_masks = [
@@ -86,22 +95,11 @@ class _Lattice:
                         if pred not in unit_set:
                             mask |= 1 << pred
                 self.pred_masks[unit_id] = mask
-        self.min_cost = [
-            instance.min_build_cost(i) for i in range(self.n)
-        ]
-        self.final_runtime = instance.total_runtime(range(self.n))
         self.full_mask = (1 << self.n) - 1
-        self._runtime_cache: Dict[int, float] = {}
-        self._suffix_bound = SuffixBound(instance)
 
     def runtime(self, mask: int) -> float:
         """Weighted total query runtime for a built-set bitmask."""
-        cached = self._runtime_cache.get(mask)
-        if cached is None:
-            built = {i for i in range(self.n) if mask & (1 << i)}
-            cached = self.instance.total_runtime(built)
-            self._runtime_cache[mask] = cached
-        return cached
+        return self.engine.runtime_of(mask)
 
     def unit_cost(self, unit_id: int, mask: int) -> Tuple[float, float]:
         """Objective and elapsed-cost contribution of deploying a unit.
@@ -109,23 +107,20 @@ class _Lattice:
         Deploys the unit's members in chain order starting from built-set
         ``mask``; returns ``(objective_delta, total_build_cost)``.
         """
-        built = {i for i in range(self.n) if mask & (1 << i)}
         objective = 0.0
         total_cost = 0.0
         current_mask = mask
         for member in self.units[unit_id]:
-            runtime = self.runtime(current_mask)
-            cost = self.instance.build_cost(member, built)
+            runtime = self.engine.runtime_of(current_mask)
+            cost = self.engine.build_cost_in(member, current_mask)
             objective += runtime * cost
             total_cost += cost
-            built.add(member)
             current_mask |= 1 << member
         return objective, total_cost
 
     def heuristic(self, mask: int) -> float:
         """Admissible lower bound on the remaining objective."""
-        built = {i for i in range(self.n) if mask & (1 << i)}
-        return self._suffix_bound.bound(self.runtime(mask), built)
+        return self.engine.suffix_bound(self.engine.runtime_of(mask), mask)
 
     def expandable(self, unit_id: int, mask: int) -> bool:
         if mask & self.unit_masks[unit_id]:
@@ -148,6 +143,11 @@ def _reconstruct(
     return order
 
 
+@register(
+    "subset-dp",
+    summary="Held-Karp DP over the built-set lattice (exact, small n)",
+    exact=True,
+)
 class SubsetDPSolver(Solver):
     """Exact DP over all subsets of indexes.
 
@@ -230,6 +230,11 @@ class SubsetDPSolver(Solver):
         )
 
 
+@register(
+    "astar",
+    summary="A* over the built-set lattice with the engine's density bound",
+    exact=True,
+)
 class AStarSolver(Solver):
     """A* over the subset lattice with an admissible remaining-area bound."""
 

@@ -13,11 +13,12 @@ import time
 from typing import Optional, Sequence
 
 from repro.analysis.constraints import ConstraintSet
+from repro.core.engine import EvalEngine
 from repro.core.instance import ProblemInstance
 from repro.core.objective import ObjectiveEvaluator
 from repro.core.solution import SolveResult
 
-__all__ = ["Budget", "Solver", "SuffixBound", "glue_consecutive", "repair_order"]
+__all__ = ["Budget", "Solver", "glue_consecutive", "repair_order"]
 
 
 class Budget:
@@ -85,57 +86,9 @@ class Solver(abc.ABC):
     def _evaluator(self, instance: ProblemInstance) -> ObjectiveEvaluator:
         return ObjectiveEvaluator(instance)
 
-
-class SuffixBound:
-    """Admissible lower bound on the objective of any deployment suffix.
-
-    Relaxation: every remaining index ``i`` costs its minimum possible
-    build cost ``minC(i)`` and drops the runtime by its maximum possible
-    marginal speed-up ``S_max(i)`` (the sum over queries of the best
-    plan speed-up involving ``i``).  With fixed per-item costs and drops
-    the staircase area is linear in the drop prefix sums, so the
-    density-descending order (``S_max / minC``) minimizes it — a classic
-    exchange argument — and that minimum lower-bounds the true suffix
-    area for every feasible order.  The simple bound
-    ``R_final * sum minC`` is taken as a floor (max of two admissible
-    bounds is admissible).
-    """
-
-    def __init__(self, instance: ProblemInstance) -> None:
-        self.instance = instance
-        n = instance.n_indexes
-        self.min_cost = [instance.min_build_cost(i) for i in range(n)]
-        self.final_runtime = instance.total_runtime(range(n))
-        s_max = [0.0] * n
-        for query in instance.queries:
-            best_with: dict = {}
-            for plan_id in instance.plans_of_query(query.query_id):
-                plan = instance.plans[plan_id]
-                value = plan.speedup * query.weight
-                for member in plan.indexes:
-                    if value > best_with.get(member, 0.0):
-                        best_with[member] = value
-            for member, value in best_with.items():
-                s_max[member] += value
-        self.s_max = s_max
-        self.density_order = sorted(
-            range(n),
-            key=lambda i: -(s_max[i] / max(self.min_cost[i], 1e-12)),
-        )
-
-    def bound(self, runtime_now: float, built) -> float:
-        """Lower bound given current runtime and the built set."""
-        relaxed = 0.0
-        runtime = runtime_now
-        simple = 0.0
-        for index_id in self.density_order:
-            if index_id in built:
-                continue
-            cost = self.min_cost[index_id]
-            relaxed += runtime * cost
-            simple += self.final_runtime * cost
-            runtime -= self.s_max[index_id]
-        return max(relaxed, simple)
+    def _engine(self, instance: ProblemInstance) -> EvalEngine:
+        """Fresh shared evaluation backend for one solve."""
+        return EvalEngine(instance)
 
 
 def repair_order(
@@ -147,7 +100,9 @@ def repair_order(
     after that predecessor, repeating until no violation remains (the
     precedence relation is acyclic, so this terminates), then glues
     consecutive pairs.  The relative order of unconstrained indexes is
-    preserved.
+    preserved.  Positions are maintained incrementally — each move only
+    renumbers the rotated span, so one pass costs O(n) amortized
+    instead of rebuilding the full position map per move.
     """
     result = list(order)
     if constraints is None:
@@ -158,10 +113,15 @@ def repair_order(
         changed = False
         for b in range(constraints.n):
             for a in constraints.predecessors(b):
-                if position[a] > position[b]:
-                    result.remove(b)
-                    result.insert(result.index(a) + 1, b)
-                    position = {ix: pos for pos, ix in enumerate(result)}
+                pos_a = position[a]
+                pos_b = position[b]
+                if pos_a > pos_b:
+                    # Rotate b from pos_b to just after a; only the span
+                    # [pos_b, pos_a] shifts, so renumber just that span.
+                    result.pop(pos_b)
+                    result.insert(pos_a, b)
+                    for pos in range(pos_b, pos_a + 1):
+                        position[result[pos]] = pos
                     changed = True
     return glue_consecutive(result, constraints)
 

@@ -22,10 +22,10 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.constraints import ConstraintSet
+from repro.core.engine import EvalEngine
 from repro.core.instance import ProblemInstance
-from repro.core.objective import ObjectiveEvaluator
 from repro.core.solution import Solution, SolveResult, SolveStatus
-from repro.solvers.base import Budget, Solver, SuffixBound
+from repro.solvers.base import Budget, Solver
 from repro.solvers.cp.domains import Conflict, DomainStore
 from repro.solvers.cp.propagators import (
     AllDifferent,
@@ -33,85 +33,9 @@ from repro.solvers.cp.propagators import (
     Precedence,
     PropagationEngine,
 )
+from repro.solvers.registry import register
 
 __all__ = ["CPModel", "CPSearch", "CPSolver", "SearchOutcome"]
-
-
-class _PrefixPathCache:
-    """Incremental prefix evaluation along the DFS path.
-
-    The bound check needs ``(objective, runtime)`` of the assigned
-    position prefix at every node.  Consecutive nodes share most of
-    their prefix, so instead of replaying from scratch this keeps the
-    last evaluated prefix as a stack with undo records and only
-    pops/pushes the difference — the same apply/undo mechanics the
-    exhaustive solver uses, amortizing the check to O(changed steps).
-    """
-
-    def __init__(self, instance: ProblemInstance) -> None:
-        evaluator = ObjectiveEvaluator(instance)
-        self._plan_query = evaluator._plan_query
-        self._plan_speedup = evaluator._plan_speedup
-        self._plans_of_index = evaluator._plans_of_index
-        self._helpers = evaluator._helpers
-        self._ctime = evaluator._ctime
-        self._qweight = evaluator._qweight
-        self.n = instance.n_indexes
-        self._missing = evaluator._plan_size[:]
-        self._qbest = [0.0] * instance.n_queries
-        self._built = bytearray(self.n)
-        self.runtime = evaluator._r0
-        self.objective = 0.0
-        self._stack: List[int] = []
-        self._undo: List[tuple] = []
-
-    def evaluate(self, prefix: Sequence[int]) -> Tuple[float, float]:
-        """Return ``(objective, runtime)`` after deploying ``prefix``."""
-        common = 0
-        limit = min(len(prefix), len(self._stack))
-        while common < limit and self._stack[common] == prefix[common]:
-            common += 1
-        while len(self._stack) > common:
-            self._pop()
-        for index_id in prefix[common:]:
-            self._push(index_id)
-        return self.objective, self.runtime
-
-    def _push(self, index_id: int) -> None:
-        best_saving = 0.0
-        for helper, saving in self._helpers[index_id]:
-            if self._built[helper] and saving > best_saving:
-                best_saving = saving
-        delta_objective = self.runtime * (self._ctime[index_id] - best_saving)
-        self.objective += delta_objective
-        self._built[index_id] = 1
-        runtime_delta = 0.0
-        completed: List[tuple] = []
-        for plan_id in self._plans_of_index[index_id]:
-            self._missing[plan_id] -= 1
-            if self._missing[plan_id] == 0:
-                query_id = self._plan_query[plan_id]
-                speedup = self._plan_speedup[plan_id]
-                if speedup > self._qbest[query_id]:
-                    runtime_delta += (
-                        speedup - self._qbest[query_id]
-                    ) * self._qweight[query_id]
-                    completed.append((query_id, self._qbest[query_id]))
-                    self._qbest[query_id] = speedup
-        self.runtime -= runtime_delta
-        self._stack.append(index_id)
-        self._undo.append((delta_objective, runtime_delta, completed))
-
-    def _pop(self) -> None:
-        index_id = self._stack.pop()
-        delta_objective, runtime_delta, completed = self._undo.pop()
-        for query_id, previous in reversed(completed):
-            self._qbest[query_id] = previous
-        self.runtime += runtime_delta
-        for plan_id in self._plans_of_index[index_id]:
-            self._missing[plan_id] += 1
-        self._built[index_id] = 0
-        self.objective -= delta_objective
 
 
 class CPModel:
@@ -127,6 +51,19 @@ class CPModel:
         self.constraints = constraints
         self.n = instance.n_indexes
         self.hall = hall
+        self._engine: Optional[EvalEngine] = None
+
+    @property
+    def engine(self) -> EvalEngine:
+        """Shared evaluation backend for every search over this model.
+
+        LNS/VNS run thousands of :class:`CPSearch` instances against one
+        model; sharing the engine lets them reuse the built-set memo and
+        the delta-evaluation base across relaxations.
+        """
+        if self._engine is None:
+            self._engine = EvalEngine(self.instance)
+        return self._engine
 
     def create_store(self) -> DomainStore:
         """Fresh domain store with constraint-derived initial bounds."""
@@ -180,6 +117,7 @@ class CPSearch:
         failure_limit: Optional[int] = None,
         budget: Optional[Budget] = None,
         fixed: Optional[Dict[int, int]] = None,
+        delta_base: Optional[Sequence[int]] = None,
     ) -> None:
         if strategy not in ("first_fail", "sequential"):
             raise ValueError(f"unknown strategy {strategy!r}")
@@ -188,19 +126,16 @@ class CPSearch:
         self.failure_limit = failure_limit
         self.budget = budget
         self.fixed = dict(fixed) if fixed else {}
-        self.evaluator = ObjectiveEvaluator(model.instance)
+        self.engine = model.engine
         self.outcome = SearchOutcome()
         if incumbent is not None:
             self.outcome.best_objective = incumbent
-        self._final_runtime = model.instance.total_runtime(
-            range(model.instance.n_indexes)
-        )
-        self._min_cost = [
-            model.instance.min_build_cost(i)
-            for i in range(model.instance.n_indexes)
-        ]
-        self._suffix_bound = SuffixBound(model.instance)
-        self._prefix_cache = _PrefixPathCache(model.instance)
+        # When the caller searches a neighborhood of a known order (the
+        # LNS/VNS relaxations), leaves are delta-evaluated against it —
+        # only each candidate's divergence window is replayed.
+        self._use_delta = delta_base is not None
+        if delta_base is not None:
+            self.engine.set_base(delta_base)
         self._density_rank = self._compute_density_ranks(model.instance)
         self._start = time.perf_counter()
 
@@ -284,7 +219,10 @@ class CPSearch:
         order = [0] * self.model.n
         for var, position in enumerate(positions):
             order[position] = var
-        objective = self.evaluator.evaluate(order)
+        if self._use_delta:
+            objective = self.engine.evaluate_neighbor(order)
+        else:
+            objective = self.engine.evaluate(order)
         if objective < self.outcome.best_objective - 1e-12:
             self.outcome.best_objective = objective
             self.outcome.best_order = order
@@ -350,13 +288,19 @@ class CPSearch:
         if any(position >= k for position in assigned):
             return True  # not a contiguous prefix; no cheap bound
         prefix = [assigned[position] for position in range(k)]
-        prefix_objective, runtime_now = self._prefix_cache.evaluate(prefix)
-        bound = prefix_objective + self._suffix_bound.bound(
-            runtime_now, set(prefix)
+        prefix_objective, runtime_now = self.engine.prefix_state(prefix)
+        bound = prefix_objective + self.engine.suffix_bound(
+            runtime_now, self.engine.mask_of(prefix)
         )
         return bound < self.outcome.best_objective - 1e-12
 
 
+@register(
+    "cp",
+    summary="CP branch-and-prune over position variables (Section 6)",
+    exact=True,
+    anytime=True,
+)
 class CPSolver(Solver):
     """Constraint-programming solver (Section 6).
 
@@ -376,6 +320,8 @@ class CPSolver(Solver):
         self.strategy = strategy
         self.hall = hall
         self.seed_incumbent = seed_incumbent
+        #: Engine counters of the most recent :meth:`solve` (dict form).
+        self.last_engine_stats = None
 
     def solve(
         self,
@@ -391,9 +337,7 @@ class CPSolver(Solver):
             from repro.solvers.greedy import greedy_order
 
             incumbent_order = greedy_order(instance, constraints)
-            incumbent_objective = ObjectiveEvaluator(instance).evaluate(
-                incumbent_order
-            )
+            incumbent_objective = model.engine.evaluate(incumbent_order)
         search = CPSearch(
             model,
             strategy=self.strategy,
@@ -408,6 +352,7 @@ class CPSolver(Solver):
             )
         outcome = search.run()
         elapsed = time.perf_counter() - start
+        self.last_engine_stats = model.engine.stats.as_dict()
         if outcome.best_order is None and incumbent_order is not None:
             # Nothing beat the greedy seed: it is the solution (and, if
             # the search closed, provably optimal).

@@ -19,6 +19,7 @@ from repro.analysis.constraints import ConstraintSet
 from repro.core.instance import ProblemInstance
 from repro.core.solution import Solution, SolveResult, SolveStatus
 from repro.solvers.base import Budget, Solver, repair_order
+from repro.solvers.registry import register
 
 __all__ = ["DPSolver", "dp_order", "interaction_weights"]
 
@@ -121,6 +122,10 @@ def _interleave(
     return merged
 
 
+@register(
+    "dp",
+    summary="Schnaitter min-cut DP baseline (Algorithm 2)",
+)
 class DPSolver(Solver):
     """Solver wrapper around :func:`dp_order`.
 

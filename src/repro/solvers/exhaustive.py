@@ -1,11 +1,20 @@
 """Exhaustive depth-first search with branch-and-bound pruning.
 
 Builds the deployment sequence position by position.  A partial prefix
-has an exact objective; the remaining indexes contribute at least
-``R_final * min_build_cost`` each, which gives an admissible lower bound
-for pruning against the incumbent.  With no incumbent pruning this
-degenerates to the factorial search the paper uses as its reference
-point ("runtime of CP without pruning is roughly proportional to |I|!").
+has an exact objective; the engine's density-relaxation suffix bound
+gives an admissible lower bound for pruning against the incumbent.
+With no incumbent pruning this degenerates to the factorial search the
+paper uses as its reference point ("runtime of CP without pruning is
+roughly proportional to |I|!").
+
+Two engine-backed prunes are applied on top of the incumbent bound:
+
+* the shared density suffix bound (:meth:`EvalEngine.suffix_bound`),
+* a transposition table over built-set bitmasks — the suffix cost of a
+  prefix depends only on its built *set*, so any prefix reaching an
+  already-seen set at an equal-or-worse objective is dominated and cut,
+  which collapses the factorial permutation tree toward the ``2^n``
+  subset lattice.
 
 Precedence constraints restrict which index may be placed next;
 consecutive (alliance) pairs force the glued successor immediately.
@@ -14,32 +23,49 @@ consecutive (alliance) pairs force the glued successor immediately.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Set
+from typing import List, Optional
 
 from repro.analysis.constraints import ConstraintSet
+from repro.core.engine import EvalEngine
 from repro.core.instance import ProblemInstance
-from repro.core.objective import ObjectiveEvaluator
 from repro.core.solution import Solution, SolveResult, SolveStatus
-from repro.solvers.base import Budget, Solver, SuffixBound
+from repro.solvers.base import Budget, Solver
 from repro.solvers.greedy import greedy_order
+from repro.solvers.registry import register
 
 __all__ = ["ExhaustiveSolver"]
 
 
+@register(
+    "exhaustive",
+    summary="DFS branch-and-bound over permutations (exact)",
+    exact=True,
+)
 class ExhaustiveSolver(Solver):
     """Exact DFS branch-and-bound over index permutations.
 
     Args:
-        use_bound: Prune with the density-relaxation suffix bound.
+        use_bound: Prune with the engine's density-relaxation suffix
+            bound.
         seed_incumbent: Start from the greedy solution's objective so
             pruning bites from the first node.
+        use_transposition: Prune prefixes that reach an already-seen
+            built-set at an equal-or-worse objective.
     """
 
     name = "exhaustive"
 
-    def __init__(self, use_bound: bool = True, seed_incumbent: bool = True) -> None:
+    def __init__(
+        self,
+        use_bound: bool = True,
+        seed_incumbent: bool = True,
+        use_transposition: bool = True,
+    ) -> None:
         self.use_bound = use_bound
         self.seed_incumbent = seed_incumbent
+        self.use_transposition = use_transposition
+        #: Engine counters of the most recent :meth:`solve` (dict form).
+        self.last_engine_stats = None
 
     def solve(
         self,
@@ -48,14 +74,22 @@ class ExhaustiveSolver(Solver):
         budget: Optional[Budget] = None,
     ) -> SolveResult:
         start = time.perf_counter()
-        search = _DFSState(instance, constraints, budget, self.use_bound)
+        engine = self._engine(instance)
+        search = _DFSState(
+            instance,
+            constraints,
+            budget,
+            self.use_bound,
+            engine,
+            self.use_transposition,
+        )
         if self.seed_incumbent:
             initial = greedy_order(instance, constraints)
-            evaluator = ObjectiveEvaluator(instance)
-            search.best_objective = evaluator.evaluate(initial)
+            search.best_objective = engine.evaluate(initial)
             search.best_order = list(initial)
         search.run()
         elapsed = time.perf_counter() - start
+        self.last_engine_stats = engine.stats.as_dict()
         if search.best_order is None:
             status = (
                 SolveStatus.TIMEOUT if search.interrupted else SolveStatus.INFEASIBLE
@@ -89,31 +123,33 @@ class _DFSState:
         constraints: Optional[ConstraintSet],
         budget: Optional[Budget],
         use_bound: bool,
+        engine: EvalEngine,
+        use_transposition: bool = True,
     ) -> None:
         self.instance = instance
         self.constraints = constraints
         self.budget = budget
         self.use_bound = use_bound
+        self.engine = engine
         self.n = instance.n_indexes
-        evaluator = ObjectiveEvaluator(instance)
-        self._plan_query = evaluator._plan_query
-        self._plan_speedup = evaluator._plan_speedup
-        self._plans_of_index = evaluator._plans_of_index
-        self._helpers = evaluator._helpers
-        self._ctime = evaluator._ctime
-        self._qweight = evaluator._qweight
-        self.final_runtime = instance.total_runtime(range(self.n))
-        self.min_cost = [instance.min_build_cost(i) for i in range(self.n)]
-        self.suffix_bound = SuffixBound(instance)
-        self.built_set: Set[int] = set()
+        self._plan_query = engine.plan_query
+        self._plan_speedup = engine.plan_speedup
+        self._plans_of_index = engine.plans_of_index
+        self._helpers = engine.helpers
+        self._ctime = engine.ctime
+        self._qweight = engine.qweight
+        self.transpositions = (
+            engine.new_transposition_table() if use_transposition else None
+        )
         self.consecutive_after = {}
         if constraints is not None:
             for first, second in constraints.consecutive_pairs:
                 self.consecutive_after[first] = second
         # Search state.
-        self.missing = [len(p.indexes) for p in instance.plans]
+        self.missing = engine.plan_size[:]
         self.qbest = [0.0] * instance.n_queries
         self.built = bytearray(self.n)
+        self.built_mask = 0
         self.runtime = instance.total_base_runtime
         self.objective = 0.0
         self.prefix: List[int] = []
@@ -123,7 +159,6 @@ class _DFSState:
         self.interrupted = False
         self.trace: List[tuple] = []
         self._start = time.perf_counter()
-        self.remaining_min_cost = sum(self.min_cost)
 
     # ------------------------------------------------------------------
     def run(self) -> None:
@@ -166,9 +201,18 @@ class _DFSState:
                     (time.perf_counter() - self._start, self.objective)
                 )
             return
+        # Built-set dominance: the same set reached before at an
+        # equal-or-better objective completes at least as cheaply.  The
+        # candidate set is a function of the built-set alone (a pending
+        # alliance forces an identical last element for every prefix
+        # sharing the mask), so the prune is exact.
+        if self.transpositions is not None and self.transpositions.dominated(
+            self.built_mask, self.objective
+        ):
+            return
         if self.use_bound:
-            bound = self.objective + self.suffix_bound.bound(
-                self.runtime, self.built_set
+            bound = self.objective + self.engine.suffix_bound(
+                self.runtime, self.built_mask
             )
             if bound >= self.best_objective - 1e-12:
                 return
@@ -185,12 +229,12 @@ class _DFSState:
             if self.built[helper] and saving > best_saving:
                 best_saving = saving
         cost = self._ctime[index_id] - best_saving
-        delta_objective = self.runtime * cost
-        self.objective += delta_objective
+        prev_objective = self.objective
+        prev_runtime = self.runtime
+        self.objective += self.runtime * cost
         self.built[index_id] = 1
-        self.built_set.add(index_id)
+        self.built_mask |= 1 << index_id
         self.prefix.append(index_id)
-        self.remaining_min_cost -= self.min_cost[index_id]
         runtime_delta = 0.0
         completed: List[tuple] = []
         for plan_id in self._plans_of_index[index_id]:
@@ -206,17 +250,19 @@ class _DFSState:
                     completed.append((query_id, self.qbest[query_id]))
                     self.qbest[query_id] = speedup
         self.runtime -= runtime_delta
-        return (delta_objective, runtime_delta, completed)
+        # Undo restores the exact prior floats (same invariant as
+        # engine.PrefixCursor): drift-free prefix objectives feed the
+        # transposition-table dominance check.
+        return (prev_objective, prev_runtime, completed)
 
     def _undo(self, index_id: int, undo) -> None:
-        delta_objective, runtime_delta, completed = undo
+        prev_objective, prev_runtime, completed = undo
         for query_id, previous in reversed(completed):
             self.qbest[query_id] = previous
-        self.runtime += runtime_delta
+        self.runtime = prev_runtime
         for plan_id in self._plans_of_index[index_id]:
             self.missing[plan_id] += 1
-        self.remaining_min_cost += self.min_cost[index_id]
         self.prefix.pop()
         self.built[index_id] = 0
-        self.built_set.discard(index_id)
-        self.objective -= delta_objective
+        self.built_mask &= ~(1 << index_id)
+        self.objective = prev_objective

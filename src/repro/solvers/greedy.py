@@ -18,6 +18,7 @@ from repro.analysis.constraints import ConstraintSet
 from repro.core.instance import ProblemInstance
 from repro.core.solution import Solution, SolveResult, SolveStatus
 from repro.solvers.base import Budget, Solver
+from repro.solvers.registry import register
 
 __all__ = ["GreedySolver", "greedy_order"]
 
@@ -97,6 +98,10 @@ def _best_by_density(
     return best_index
 
 
+@register(
+    "greedy",
+    summary="interaction-guided greedy (Algorithm 1)",
+)
 class GreedySolver(Solver):
     """Solver wrapper around :func:`greedy_order`."""
 

@@ -16,11 +16,11 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.constraints import ConstraintSet
 from repro.core.instance import ProblemInstance
-from repro.core.objective import ObjectiveEvaluator
 from repro.core.solution import Solution, SolveResult, SolveStatus
 from repro.solvers.base import Budget, Solver
 from repro.solvers.cp.search import CPModel, CPSearch
 from repro.solvers.greedy import greedy_order
+from repro.solvers.registry import register
 
 __all__ = ["LNSSolver", "relax_step"]
 
@@ -54,6 +54,7 @@ def relax_step(
         failure_limit=failure_limit,
         budget=budget,
         fixed=fixed,
+        delta_base=order,
     )
     outcome = search.run()
     if outcome.best_order is not None:
@@ -61,6 +62,13 @@ def relax_step(
     return None, None, outcome.proved
 
 
+@register(
+    "lns",
+    summary="large neighborhood search over CP relaxations (Section 7.2)",
+    anytime=True,
+    stochastic=True,
+    accepts_initial_order=True,
+)
 class LNSSolver(Solver):
     """Fixed-parameter LNS (the baseline VNS improves upon)."""
 
@@ -77,6 +85,8 @@ class LNSSolver(Solver):
         self.failure_limit = failure_limit
         self.seed = seed
         self.initial_order = initial_order
+        #: Engine counters of the most recent :meth:`solve` (dict form).
+        self.last_engine_stats = None
 
     def solve(
         self,
@@ -94,12 +104,11 @@ class LNSSolver(Solver):
             if self.initial_order is not None
             else greedy_order(instance, constraints)
         )
-        evaluator = ObjectiveEvaluator(instance)
-        current = evaluator.evaluate(order)
         # Hall filtering costs O(n^2) per propagation and adds little
         # inside a mostly-fixed neighborhood; forward checking plus
         # precedence propagation carry the relaxation sub-searches.
         model = CPModel(instance, constraints, hall=False)
+        current = model.engine.evaluate(order)
         relax_size = max(2, round(self.relax_fraction * n))
         trace: List[Tuple[float, float]] = [
             (time.perf_counter() - start, current)
@@ -121,6 +130,7 @@ class LNSSolver(Solver):
                 current = improved_objective
                 trace.append((time.perf_counter() - start, current))
         elapsed = time.perf_counter() - start
+        self.last_engine_stats = model.engine.stats.as_dict()
         return SolveResult(
             solver=self.name,
             status=SolveStatus.FEASIBLE,

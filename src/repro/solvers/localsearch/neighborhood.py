@@ -21,7 +21,13 @@ def swap_feasible(
     (``pos_a < pos_b``) violates a precedence exactly when ``x`` must
     precede, or ``y`` must succeed, any element in the closed window
     ``[pos_a, pos_b]``.  Consecutive (alliance) pairs must additionally
-    stay adjacent.
+    stay adjacent; since the swap only changes the positions of ``x``
+    and ``y``, only pairs with a member at or adjacent to ``pos_a`` /
+    ``pos_b`` can change adjacency, so only those few positions are
+    inspected — no swapped copy or full position map is built.  Pairs
+    entirely away from both slots are assumed adjacent already, i.e.
+    ``order`` itself is expected to satisfy the consecutive pairs (the
+    local-search solvers only probe moves from feasible orders).
     """
     if constraints is None:
         return True
@@ -37,12 +43,43 @@ def swap_feasible(
     for position in range(pos_a, pos_b):
         if constraints.is_before(order[position], y):
             return False
-    if constraints.consecutive_pairs:
-        swapped = list(order)
-        swapped[pos_a], swapped[pos_b] = swapped[pos_b], swapped[pos_a]
-        position_of = {ix: pos for pos, ix in enumerate(swapped)}
-        for first, second in constraints.consecutive_pairs:
-            if position_of[second] != position_of[first] + 1:
+    pairs = constraints.consecutive_pairs
+    if pairs:
+        n = len(order)
+        # Base positions whose occupants can see an adjacency change.
+        window = {}
+        for position in (
+            pos_a - 1, pos_a, pos_a + 1, pos_b - 1, pos_b, pos_b + 1
+        ):
+            if 0 <= position < n:
+                window[order[position]] = position
+
+        def new_position(position: int) -> int:
+            if position == pos_a:
+                return pos_b
+            if position == pos_b:
+                return pos_a
+            return position
+
+        window_positions = set(window.values())
+        for first, second in pairs:
+            pf = window.get(first)
+            ps = window.get(second)
+            if pf is None and ps is None:
+                continue  # both members far from the swap: unchanged
+            if pf is not None and ps is not None:
+                if new_position(ps) != new_position(pf) + 1:
+                    return False
+                continue
+            # One member in the window, its partner elsewhere; the
+            # partner keeps its (unknown) position.  The pair survives
+            # only if the required partner slot is outside the window —
+            # then the pair's adjacency is exactly what it was before.
+            if pf is not None:
+                required = new_position(pf) + 1
+            else:
+                required = new_position(ps) - 1
+            if required < 0 or required >= n or required in window_positions:
                 return False
     return True
 

@@ -13,6 +13,11 @@ Two variants, exactly as the paper evaluates them:
 Recently swapped indexes are placed in probation for ``tabu_length``
 iterations; an aspiration criterion admits tabu moves that improve the
 global best.
+
+Swap objectives come from :class:`~repro.core.engine.EvalEngine`'s
+delta path: each candidate replays only its ``[pos_a, pos_b]``
+divergence window and early-exits into the base suffix, instead of
+replaying from a checkpoint to the end of the order.
 """
 
 from __future__ import annotations
@@ -21,12 +26,13 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.constraints import ConstraintSet
+from repro.core.engine import EvalEngine
 from repro.core.instance import ProblemInstance
-from repro.core.objective import PrefixCachedEvaluator
 from repro.core.solution import Solution, SolveResult, SolveStatus
-from repro.solvers.base import Budget, Solver
+from repro.solvers.base import Budget, Solver, repair_order
 from repro.solvers.greedy import greedy_order
 from repro.solvers.localsearch.neighborhood import apply_swap, swap_feasible
+from repro.solvers.registry import register_factory
 
 __all__ = ["TabuSolver"]
 
@@ -46,6 +52,9 @@ class TabuSolver(Solver):
         self.tabu_length = tabu_length
         self.initial_order = initial_order
         self.name = "ts-bswap" if variant == "best" else "ts-fswap"
+        #: Engine counters of the most recent :meth:`solve` (dict form);
+        #: the Figure-11/12 harness reports these.
+        self.last_engine_stats: Optional[Dict[str, int]] = None
 
     def solve(
         self,
@@ -56,14 +65,17 @@ class TabuSolver(Solver):
         start = time.perf_counter()
         if budget is None:
             budget = Budget(time_limit=5.0)
-        n = instance.n_indexes
         order = (
             list(self.initial_order)
             if self.initial_order is not None
             else greedy_order(instance, constraints)
         )
-        evaluator = PrefixCachedEvaluator(instance)
-        current = evaluator.set_base(order)
+        if constraints is not None and not constraints.check_order(order):
+            # swap_feasible assumes a feasible base; repair a
+            # caller-supplied warm start before probing moves from it.
+            order = repair_order(order, constraints)
+        engine = self._engine(instance)
+        current = engine.set_base(order)
         best_order = list(order)
         best_objective = current
         trace: List[Tuple[float, float]] = [
@@ -75,7 +87,7 @@ class TabuSolver(Solver):
             iteration += 1
             move = self._pick_move(
                 order,
-                evaluator,
+                engine,
                 current,
                 best_objective,
                 tabu_until,
@@ -88,7 +100,7 @@ class TabuSolver(Solver):
             pos_a, pos_b, objective = move
             x, y = order[pos_a], order[pos_b]
             order = apply_swap(order, pos_a, pos_b)
-            current = evaluator.set_base(order)
+            current = engine.set_base(order)
             tabu_until[x] = iteration + self.tabu_length
             tabu_until[y] = iteration + self.tabu_length
             if objective < best_objective - 1e-12:
@@ -96,12 +108,13 @@ class TabuSolver(Solver):
                 best_order = list(order)
                 trace.append((time.perf_counter() - start, best_objective))
         elapsed = time.perf_counter() - start
+        self.last_engine_stats = engine.stats.as_dict()
         return SolveResult(
             solver=self.name,
             status=SolveStatus.FEASIBLE,
             solution=Solution(tuple(best_order), best_objective),
             runtime=elapsed,
-            nodes=evaluator.evaluations,
+            nodes=engine.stats.evaluations,
             trace=trace,
         )
 
@@ -109,7 +122,7 @@ class TabuSolver(Solver):
     def _pick_move(
         self,
         order: List[int],
-        evaluator: PrefixCachedEvaluator,
+        engine: EvalEngine,
         current: float,
         best_objective: float,
         tabu_until: Dict[int, int],
@@ -130,7 +143,7 @@ class TabuSolver(Solver):
                 )
                 if not swap_feasible(order, pos_a, pos_b, constraints):
                     continue
-                objective = evaluator.evaluate_swap(pos_a, pos_b)
+                objective = engine.eval_swap(pos_a, pos_b)
                 budget.tick()
                 if tabu and objective >= best_objective - 1e-12:
                     continue  # aspiration: only global improvements pass
@@ -139,3 +152,19 @@ class TabuSolver(Solver):
                 if best_move is None or objective < best_move[2] - 1e-12:
                     best_move = (pos_a, pos_b, objective)
         return best_move
+
+
+register_factory(
+    "ts-bswap",
+    lambda **kwargs: TabuSolver(variant="best", **kwargs),
+    summary="tabu search, best-swap scan (Section 7.1)",
+    anytime=True,
+    accepts_initial_order=True,
+)
+register_factory(
+    "ts-fswap",
+    lambda **kwargs: TabuSolver(variant="first", **kwargs),
+    summary="tabu search, first-improving swap (Section 7.1)",
+    anytime=True,
+    accepts_initial_order=True,
+)

@@ -20,16 +20,23 @@ from typing import List, Optional, Tuple
 
 from repro.analysis.constraints import ConstraintSet
 from repro.core.instance import ProblemInstance
-from repro.core.objective import ObjectiveEvaluator
 from repro.core.solution import Solution, SolveResult, SolveStatus
 from repro.solvers.base import Budget, Solver
 from repro.solvers.cp.search import CPModel
 from repro.solvers.greedy import greedy_order
 from repro.solvers.localsearch.lns import relax_step
+from repro.solvers.registry import register
 
 __all__ = ["VNSSolver"]
 
 
+@register(
+    "vns",
+    summary="variable neighborhood search, adaptive LNS (Section 7.3)",
+    anytime=True,
+    stochastic=True,
+    accepts_initial_order=True,
+)
 class VNSSolver(Solver):
     """Adaptive LNS following the paper's Section 7.3 policy."""
 
@@ -58,6 +65,8 @@ class VNSSolver(Solver):
         #: Optional callback ``(elapsed_seconds, order)`` fired on every
         #: incumbent improvement (used by the Figure-13 decomposition).
         self.on_improvement = on_improvement
+        #: Engine counters of the most recent :meth:`solve` (dict form).
+        self.last_engine_stats = None
 
     def solve(
         self,
@@ -75,12 +84,11 @@ class VNSSolver(Solver):
             if self.initial_order is not None
             else greedy_order(instance, constraints)
         )
-        evaluator = ObjectiveEvaluator(instance)
-        current = evaluator.evaluate(order)
         # Hall filtering costs O(n^2) per propagation and adds little
         # inside a mostly-fixed neighborhood; forward checking plus
         # precedence propagation carry the relaxation sub-searches.
         model = CPModel(instance, constraints, hall=False)
+        current = model.engine.evaluate(order)
         relax_size = max(2, round(self.initial_relax_fraction * n))
         failure_limit = self.initial_failure_limit
         trace: List[Tuple[float, float]] = [
@@ -122,6 +130,7 @@ class VNSSolver(Solver):
                 group_count = 0
                 proofs_in_group = 0
         elapsed = time.perf_counter() - start
+        self.last_engine_stats = model.engine.stats.as_dict()
         return SolveResult(
             solver=self.name,
             status=SolveStatus.FEASIBLE,

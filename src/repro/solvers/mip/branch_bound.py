@@ -25,18 +25,24 @@ import numpy as np
 from scipy import optimize
 
 from repro.analysis.constraints import ConstraintSet
+from repro.core.engine import EvalEngine
 from repro.core.instance import ProblemInstance
-from repro.core.objective import ObjectiveEvaluator
 from repro.core.solution import Solution, SolveResult, SolveStatus
 from repro.errors import ValidationError
 from repro.solvers.base import Budget, Solver, repair_order
 from repro.solvers.mip.model import MIPModel, build_model
+from repro.solvers.registry import register
 
 __all__ = ["MIPSolver"]
 
 _INTEGRALITY_TOL = 1e-6
 
 
+@register(
+    "mip",
+    summary="time-indexed MIP via scipy LP branch-and-bound (Appendix B)",
+    exact=True,
+)
 class MIPSolver(Solver):
     """Time-indexed MIP solver (Appendix B formulation)."""
 
@@ -51,6 +57,8 @@ class MIPSolver(Solver):
         self.steps_per_index = steps_per_index
         self.variable_limit = variable_limit
         self.mip_gap = mip_gap
+        #: Engine counters of the most recent :meth:`solve` (dict form).
+        self.last_engine_stats = None
 
     def solve(
         self,
@@ -74,11 +82,13 @@ class MIPSolver(Solver):
                 runtime=time.perf_counter() - start,
                 message=str(exc),
             )
+        engine = self._engine(instance)
         search = _BranchAndBound(
-            model, instance, budget, self.mip_gap, constraints
+            model, instance, budget, self.mip_gap, constraints, engine
         )
         search.run()
         elapsed = time.perf_counter() - start
+        self.last_engine_stats = engine.stats.as_dict()
         if search.best_order is None:
             status = (
                 SolveStatus.TIMEOUT
@@ -93,17 +103,24 @@ class MIPSolver(Solver):
                 nodes=search.nodes,
                 message=search.message,
             )
-        evaluator = ObjectiveEvaluator(instance)
-        true_objective = evaluator.evaluate(search.best_order)
+        # Return the incumbent with the best *exact* objective — the
+        # discretized-model winner can be a worse real order, and every
+        # incumbent's exact objective was already engine-evaluated.
+        final_order = (
+            search.best_true_order
+            if search.best_true_order is not None
+            else search.best_order
+        )
+        true_objective = engine.evaluate(final_order)
         status = (
             SolveStatus.OPTIMAL
-            if search.closed and not search.interrupted
+            if (search.closed and not search.interrupted) or search.proved_by_bound
             else SolveStatus.TIMEOUT
         )
         return SolveResult(
             solver=self.name,
             status=status,
-            solution=Solution(tuple(search.best_order), true_objective),
+            solution=Solution(tuple(final_order), true_objective),
             runtime=elapsed,
             nodes=search.nodes,
             trace=search.trace,
@@ -121,19 +138,27 @@ class _BranchAndBound:
         budget: Optional[Budget],
         mip_gap: float,
         constraints: Optional[ConstraintSet] = None,
+        engine: Optional[EvalEngine] = None,
     ) -> None:
         self.model = model
         self.instance = instance
         self.budget = budget
         self.mip_gap = mip_gap
         self.constraints = constraints
+        self.engine = engine if engine is not None else EvalEngine(instance)
         self.nodes = 0
         self.best_order: Optional[List[int]] = None
         self.best_objective = float("inf")  # in discretized-model units
+        self.best_true_objective = float("inf")  # exact evaluator units
+        self.best_true_order: Optional[List[int]] = None
         self.interrupted = False
         self.closed = False
+        #: True when the incumbent's exact objective met the engine's
+        #: admissible root bound — optimal regardless of the LP gap.
+        self.proved_by_bound = False
         self.message = ""
         self.trace: List[Tuple[float, float]] = []
+        self._seen_orders: set = set()
         self._start = time.perf_counter()
 
     def run(self) -> None:
@@ -142,10 +167,19 @@ class _BranchAndBound:
             self.closed = True
             self.message = "root LP infeasible"
             return
+        # Admissible bound on the *exact* objective from the empty
+        # state; an incumbent that meets it is optimal no matter how
+        # slowly the LP gap closes.
+        self._root_bound = self.engine.suffix_bound(
+            self.instance.total_base_runtime, 0
+        )
         heap: List[Tuple[float, int, Dict[int, float]]] = []
         counter = 0
         heapq.heappush(heap, (root[0], counter, {}))
         while heap:
+            if self.proved_by_bound:
+                self.message = "incumbent met the engine's root bound"
+                return
             if self._out_of_budget():
                 self.interrupted = True
                 self.message = "budget exhausted (DF)"
@@ -215,10 +249,16 @@ class _BranchAndBound:
         self._try_incumbent(order)
 
     def _try_incumbent(self, order: List[int]) -> None:
+        if self.proved_by_bound:
+            return  # the proven-optimal incumbent must not be replaced
         if self.constraints is not None and not self.constraints.check_order(
             order
         ):
             order = repair_order(order, self.constraints)
+        key = tuple(order)
+        if key in self._seen_orders:
+            return  # the LP heuristic repeats orders; skip re-evaluation
+        self._seen_orders.add(key)
         objective = self.model.discretized_objective(order)
         if objective < self.best_objective - 1e-12:
             self.best_objective = objective
@@ -226,3 +266,10 @@ class _BranchAndBound:
             self.trace.append(
                 (time.perf_counter() - self._start, objective)
             )
+        true_objective = self.engine.evaluate(order)
+        if true_objective < self.best_true_objective - 1e-12:
+            self.best_true_objective = true_objective
+            self.best_true_order = order
+            if true_objective <= self._root_bound + 1e-9:
+                self.best_order = order
+                self.proved_by_bound = True

@@ -11,6 +11,7 @@ from repro.core.instance import ProblemInstance
 from repro.core.objective import ObjectiveEvaluator
 from repro.core.solution import Solution, SolveResult, SolveStatus
 from repro.solvers.base import Budget, Solver, repair_order
+from repro.solvers.registry import register
 
 __all__ = ["RandomSolver", "random_statistics"]
 
@@ -47,6 +48,11 @@ def _repair(order: List[int], constraints: ConstraintSet) -> List[int]:
     return repair_order(order, constraints)
 
 
+@register(
+    "random",
+    summary="uniform random permutation sampling baseline",
+    stochastic=True,
+)
 class RandomSolver(Solver):
     """Best-of-N random permutations under a budget."""
 

@@ -1,0 +1,139 @@
+"""Central solver registry: one name -> factory lookup for the stack.
+
+Every solver module registers its public entry points with
+:func:`register` (classes) or :func:`register_factory` (configured
+variants such as the two tabu flavours).  The CLI, the experiment
+harness, and the examples all resolve solvers through this registry, so
+adding a solver is a one-file change: drop a module into
+``repro/solvers/`` that calls ``register`` — discovery imports every
+submodule of the package, no ``__init__`` edit required.
+
+Each entry carries capability flags (:class:`SolverSpec`) so generic
+drivers can decide, without hard-coded name lists, whether a solver
+proves optimality (``exact``), improves over time (``anytime``), is
+seed-sensitive (``stochastic``), honours pre-analysis constraints
+(``supports_constraints``), or accepts a warm start
+(``accepts_initial_order``).
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Tuple
+
+from repro.errors import SolverError
+from repro.solvers.base import Solver
+
+__all__ = [
+    "SolverSpec",
+    "register",
+    "register_factory",
+    "available_solvers",
+    "solver_specs",
+    "get_spec",
+    "create",
+]
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """One registered solver.
+
+    Attributes:
+        name: Registry key (the CLI ``--solver`` value).
+        factory: Zero-or-keyword-argument callable returning a solver.
+        summary: One-line description for listings.
+        supports_constraints: Honours Section-5 constraint sets.
+        anytime: Produces an improving trace under a budget.
+        exact: Proves optimality given enough budget.
+        stochastic: Results depend on a ``seed`` keyword.
+        accepts_initial_order: Accepts an ``initial_order`` keyword.
+    """
+
+    name: str
+    factory: Callable[..., Solver]
+    summary: str = ""
+    supports_constraints: bool = True
+    anytime: bool = False
+    exact: bool = False
+    stochastic: bool = False
+    accepts_initial_order: bool = False
+
+    def create(self, **kwargs) -> Solver:
+        """Instantiate the solver, forwarding configuration kwargs."""
+        return self.factory(**kwargs)
+
+
+_REGISTRY: Dict[str, SolverSpec] = {}
+_DISCOVERED = False
+
+
+def register_factory(
+    name: str,
+    factory: Callable[..., Solver],
+    **flags,
+) -> SolverSpec:
+    """Register ``factory`` under ``name``; returns the spec."""
+    spec = SolverSpec(name=name, factory=factory, **flags)
+    _REGISTRY[name] = spec
+    return spec
+
+
+def register(name: str, **flags) -> Callable:
+    """Class decorator form of :func:`register_factory`."""
+
+    def decorate(cls):
+        register_factory(name, cls, **flags)
+        return cls
+
+    return decorate
+
+
+def _discover() -> None:
+    """Import every ``repro.solvers`` submodule so registrations run."""
+    global _DISCOVERED
+    if _DISCOVERED:
+        return
+    package = importlib.import_module("repro.solvers")
+    for module in pkgutil.walk_packages(
+        package.__path__, prefix="repro.solvers."
+    ):
+        leaf = module.name.rsplit(".", 1)[-1]
+        if leaf.startswith("_"):
+            continue
+        importlib.import_module(module.name)
+    # Marked complete only after every import succeeded, so a module
+    # that fails to import surfaces on every lookup instead of leaving
+    # a silently partial registry behind.
+    _DISCOVERED = True
+
+
+def available_solvers() -> Tuple[str, ...]:
+    """Sorted names of every registered solver."""
+    _discover()
+    return tuple(sorted(_REGISTRY))
+
+
+def solver_specs() -> Mapping[str, SolverSpec]:
+    """Read-only view of the full registry."""
+    _discover()
+    return dict(_REGISTRY)
+
+
+def get_spec(name: str) -> SolverSpec:
+    """Spec for ``name``; raises :class:`SolverError` when unknown."""
+    _discover()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SolverError(
+            f"unknown solver {name!r}; available: "
+            + ", ".join(sorted(_REGISTRY))
+        ) from None
+
+
+def create(name: str, **kwargs) -> Solver:
+    """Instantiate the solver registered under ``name``."""
+    return get_spec(name).create(**kwargs)

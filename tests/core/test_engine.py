@@ -1,0 +1,259 @@
+"""Unit tests for the shared incremental evaluation engine.
+
+The engine is the production evaluation backend of every solver; these
+tests pin its three capabilities (delta evaluation, built-set memo,
+bound provider) against the reference :class:`ObjectiveEvaluator`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.engine import EvalEngine, PrefixCursor, TranspositionTable
+from repro.core.objective import ObjectiveEvaluator, PrefixCachedEvaluator
+from repro.errors import ValidationError
+
+from tests.conftest import make_paper_example, small_synthetic
+
+
+@pytest.fixture
+def instance():
+    return small_synthetic(seed=11, n=9, build_interaction_rate=1.5)
+
+
+@pytest.fixture
+def engine(instance):
+    return EvalEngine(instance)
+
+
+class TestFullEvaluation:
+    def test_matches_reference(self, instance, engine):
+        reference = ObjectiveEvaluator(instance)
+        rng = random.Random(0)
+        for _ in range(10):
+            order = list(range(instance.n_indexes))
+            rng.shuffle(order)
+            assert engine.evaluate(order) == pytest.approx(
+                reference.evaluate(order), rel=1e-12
+            )
+
+    def test_rejects_non_permutation(self, engine):
+        with pytest.raises(ValidationError):
+            engine.evaluate([0, 0, 1])
+
+    def test_prefix_matches_reference(self, instance, engine):
+        reference = ObjectiveEvaluator(instance)
+        prefix = [3, 0, 5]
+        assert engine.evaluate_prefix(prefix) == pytest.approx(
+            reference.evaluate_prefix(prefix)
+        )
+
+
+class TestDeltaEvaluation:
+    def test_swap_parity(self, instance, engine):
+        reference = ObjectiveEvaluator(instance)
+        n = instance.n_indexes
+        base = list(range(n))
+        engine.set_base(base)
+        for pos_a in range(n):
+            for pos_b in range(pos_a, n):
+                candidate = base[:]
+                candidate[pos_a], candidate[pos_b] = (
+                    candidate[pos_b],
+                    candidate[pos_a],
+                )
+                assert engine.eval_swap(pos_a, pos_b) == pytest.approx(
+                    reference.evaluate(candidate), rel=1e-9
+                )
+
+    def test_relocate_and_insert_parity(self, instance, engine):
+        reference = ObjectiveEvaluator(instance)
+        n = instance.n_indexes
+        rng = random.Random(1)
+        base = list(range(n))
+        rng.shuffle(base)
+        engine.set_base(base)
+        for src in range(n):
+            for dst in range(n):
+                candidate = base[:]
+                moved = candidate.pop(src)
+                candidate.insert(dst, moved)
+                expected = reference.evaluate(candidate)
+                assert engine.eval_relocate(src, dst) == pytest.approx(
+                    expected, rel=1e-9
+                )
+                assert engine.eval_insert(base[src], dst) == pytest.approx(
+                    expected, rel=1e-9
+                )
+
+    def test_evaluate_neighbor_parity(self, instance, engine):
+        reference = ObjectiveEvaluator(instance)
+        n = instance.n_indexes
+        rng = random.Random(2)
+        base = list(range(n))
+        engine.set_base(base)
+        for _ in range(30):
+            order = base[:]
+            rng.shuffle(order)
+            assert engine.evaluate_neighbor(order) == pytest.approx(
+                reference.evaluate(order), rel=1e-9
+            )
+
+    def test_neighbor_equal_to_base(self, instance, engine):
+        base = list(range(instance.n_indexes))
+        objective = engine.set_base(base)
+        assert engine.evaluate_neighbor(base) == objective
+
+    def test_rebase_replays_only_suffix(self, instance, engine):
+        n = instance.n_indexes
+        base = list(range(n))
+        engine.set_base(base)
+        replayed_before = engine.stats.prefix_steps
+        moved = base[:]
+        moved[n - 2], moved[n - 1] = moved[n - 1], moved[n - 2]
+        engine.set_base(moved)
+        # Only the two changed tail positions are replayed.
+        assert engine.stats.prefix_steps - replayed_before == 2
+
+    def test_delta_requires_base(self, engine):
+        with pytest.raises(ValidationError):
+            engine.eval_swap(0, 1)
+
+    def test_neighbor_rejects_foreign_permutation(self, instance, engine):
+        base = list(range(instance.n_indexes))
+        engine.set_base(base)
+        with pytest.raises(ValidationError):
+            engine.evaluate_neighbor(base[:-1])
+
+    def test_strictly_fewer_replayed_steps_than_prefix_cache(self, instance):
+        """The acceptance claim: on one move sequence the engine replays
+        strictly fewer steps than PrefixCachedEvaluator would."""
+        engine = EvalEngine(instance)
+        cached = PrefixCachedEvaluator(instance)
+        n = instance.n_indexes
+        base = list(range(n))
+        engine.set_base(base)
+        cached.set_base(base)
+        rng = random.Random(3)
+        for _ in range(50):
+            pos_a = rng.randrange(n)
+            pos_b = rng.randrange(n)
+            assert engine.eval_swap(pos_a, pos_b) == pytest.approx(
+                cached.evaluate_swap(pos_a, pos_b), rel=1e-9
+            )
+        stats = engine.stats
+        assert stats.delta_evals >= 50
+        assert stats.replayed_steps < stats.baseline_steps
+
+
+class TestMemoLayer:
+    def test_runtime_memo_hits(self, instance, engine):
+        mask = engine.mask_of([0, 2, 4])
+        first = engine.runtime_of(mask)
+        misses = engine.stats.memo_misses
+        second = engine.runtime_of(mask)
+        assert first == second == instance.total_runtime({0, 2, 4})
+        assert engine.stats.memo_misses == misses
+        assert engine.stats.memo_hits >= 1
+
+    def test_runtime_accepts_iterables(self, instance, engine):
+        assert engine.runtime_of({1, 3}) == engine.runtime_of(
+            engine.mask_of([1, 3])
+        )
+
+    def test_build_cost_matches_instance(self, instance, engine):
+        for index_id in range(instance.n_indexes):
+            built = {i for i in range(instance.n_indexes) if i != index_id}
+            assert engine.build_cost_in(
+                index_id, engine.mask_of(built)
+            ) == pytest.approx(instance.build_cost(index_id, built))
+
+    def test_transposition_dominance(self, engine):
+        table = engine.new_transposition_table()
+        assert not table.dominated(0b101, 10.0)  # first arrival recorded
+        assert table.dominated(0b101, 10.0)  # equal arrival pruned
+        assert table.dominated(0b101, 11.0)  # worse arrival pruned
+        assert not table.dominated(0b101, 9.0)  # better arrival explores
+        assert table.dominated(0b101, 9.5)  # ... and updates the record
+        assert engine.stats.tt_prunes == 3
+        assert engine.stats.tt_states == 1
+        assert len(table) == 1
+
+    def test_tables_are_independent(self, engine):
+        first = engine.new_transposition_table()
+        second = engine.new_transposition_table()
+        assert not first.dominated(0b1, 1.0)
+        assert not second.dominated(0b1, 2.0)  # separate searches
+
+
+class TestPrefixCursor:
+    def test_push_pop_roundtrip_is_exact(self, instance, engine):
+        cursor = PrefixCursor(engine)
+        cursor.push(0)
+        objective_1 = cursor.objective
+        runtime_1 = cursor.runtime
+        cursor.push(1)
+        cursor.push(2)
+        cursor.pop()
+        cursor.pop()
+        # Bit-exact restore, not approximate.
+        assert cursor.objective == objective_1
+        assert cursor.runtime == runtime_1
+        assert cursor.stack == (0,)
+
+    def test_align_counts_pushes(self, instance, engine):
+        cursor = PrefixCursor(engine)
+        assert cursor.align([0, 1, 2]) == 3
+        assert cursor.align([0, 1, 3]) == 1
+        assert cursor.align([0, 1]) == 0
+        assert cursor.depth == 2
+
+
+class TestStats:
+    def test_evaluations_aggregate(self, instance, engine):
+        base = list(range(instance.n_indexes))
+        engine.set_base(base)
+        engine.eval_swap(0, 1)
+        engine.evaluate(base)
+        engine.prefix_state([0])
+        stats = engine.stats
+        assert stats.evaluations == (
+            stats.full_evals + stats.delta_evals + stats.prefix_evals
+        )
+        assert set(stats.as_dict()) >= {
+            "delta_evals",
+            "replayed_steps",
+            "baseline_steps",
+            "memo_hits",
+        }
+
+    def test_reset(self, instance, engine):
+        engine.evaluate(list(range(instance.n_indexes)))
+        engine.stats.reset()
+        assert engine.stats.evaluations == 0
+
+
+class TestBoundProvider:
+    def test_paper_example_bound_positive(self):
+        instance = make_paper_example()
+        engine = EvalEngine(instance)
+        assert engine.suffix_bound(instance.total_base_runtime, 0) > 0.0
+
+    def test_bound_zero_when_done(self, instance, engine):
+        full = engine.mask_of(range(instance.n_indexes))
+        assert engine.suffix_bound(engine.runtime_of(full), full) == 0.0
+
+    def test_admissible_everywhere_small(self):
+        instance = small_synthetic(seed=4, n=5)
+        engine = EvalEngine(instance)
+        reference = ObjectiveEvaluator(instance)
+        for order in itertools.permutations(range(5)):
+            total = reference.evaluate(list(order))
+            for split in range(5):
+                prefix = list(order[:split])
+                objective, runtime, _ = reference.evaluate_prefix(prefix)
+                bound = engine.suffix_bound(runtime, set(prefix))
+                assert objective + bound <= total + 1e-6

@@ -284,16 +284,19 @@ class TestPrefixCachedEvaluator:
 # Lower bound and normalization
 # ----------------------------------------------------------------------
 class TestLowerBound:
-    def test_suffix_bound_is_admissible(self):
+    def test_engine_suffix_bound_is_admissible(self):
+        # The engine's density bound replaced the evaluator's old
+        # simple bound; it must stay admissible at every split point.
+        from repro.core.engine import EvalEngine
+
         instance = small_synthetic(seed=5, n=6)
         evaluator = ObjectiveEvaluator(instance)
+        engine = EvalEngine(instance)
         for order in itertools.permutations(range(6)):
             for split in range(6):
                 prefix = list(order[:split])
-                objective, _, _ = evaluator.evaluate_prefix(prefix)
-                bound = evaluator.lower_bound_suffix(
-                    set(prefix), set(order[split:])
-                )
+                objective, runtime, _ = evaluator.evaluate_prefix(prefix)
+                bound = engine.suffix_bound(runtime, set(prefix))
                 total = evaluator.evaluate(list(order))
                 assert objective + bound <= total + 1e-6
 

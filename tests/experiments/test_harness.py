@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.harness import DF, ResultTable, format_cell, quick_mode
+from repro.experiments.harness import (
+    DF,
+    ResultTable,
+    engine_stats_note,
+    format_cell,
+    make_solver,
+    quick_mode,
+)
 
 
 class TestFormatCell:
@@ -71,3 +78,50 @@ class TestQuickMode:
     def test_full_mode(self, monkeypatch):
         monkeypatch.setenv("REPRO_FULL", "1")
         assert not quick_mode()
+
+
+class TestMakeSolver:
+    def test_resolves_through_registry(self):
+        from repro.solvers.localsearch.vns import VNSSolver
+
+        solver = make_solver("vns", seed=9)
+        assert isinstance(solver, VNSSolver)
+        assert solver.seed == 9
+
+    def test_unknown_name_raises(self):
+        from repro.errors import SolverError
+
+        with pytest.raises(SolverError):
+            make_solver("nope")
+
+
+class TestEngineStatsNote:
+    def test_none_for_missing_stats(self):
+        assert engine_stats_note("x", None) is None
+        assert engine_stats_note("x", {}) is None
+
+    def test_delta_format_is_parseable(self):
+        import re
+
+        note = engine_stats_note(
+            "ts-bswap",
+            {
+                "delta_evals": 10,
+                "replayed_steps": 40,
+                "baseline_steps": 100,
+                "memo_hits": 0,
+                "memo_misses": 0,
+            },
+        )
+        match = re.search(
+            r"replayed (\d+) steps vs (\d+) prefix-cache baseline", note
+        )
+        assert match is not None
+        assert int(match.group(1)) == 40
+        assert int(match.group(2)) == 100
+        assert "60% saved" in note
+
+    def test_full_eval_only_stats(self):
+        note = engine_stats_note("cp", {"full_evals": 7, "delta_evals": 0})
+        assert note.startswith("engine[cp]:")
+        assert "7 full evals" in note

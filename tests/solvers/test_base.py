@@ -1,4 +1,4 @@
-"""Unit tests for solver infrastructure: Budget, SuffixBound, repair."""
+"""Unit tests for solver infrastructure: Budget, the engine bound, repair."""
 
 from __future__ import annotations
 
@@ -7,8 +7,9 @@ import time
 import pytest
 
 from repro.analysis.constraints import ConstraintSet
+from repro.core.engine import EvalEngine
 from repro.core.objective import ObjectiveEvaluator
-from repro.solvers.base import Budget, SuffixBound, glue_consecutive, repair_order
+from repro.solvers.base import Budget, glue_consecutive, repair_order
 
 from tests.conftest import make_paper_example, small_synthetic
 
@@ -45,15 +46,17 @@ class TestBudget:
         assert not budget.exhausted
 
 
-class TestSuffixBound:
+class TestEngineSuffixBound:
+    """The engine's density bound is the single bound of the stack."""
+
     @pytest.mark.parametrize("seed", [0, 1, 2, 3])
     def test_admissible_at_root(self, seed):
         import itertools
 
         instance = small_synthetic(seed=seed, n=6)
-        bound = SuffixBound(instance)
+        engine = EvalEngine(instance)
         evaluator = ObjectiveEvaluator(instance)
-        root_bound = bound.bound(instance.total_base_runtime, set())
+        root_bound = engine.suffix_bound(instance.total_base_runtime, set())
         optimum = min(
             evaluator.evaluate(list(order))
             for order in itertools.permutations(range(6))
@@ -64,18 +67,29 @@ class TestSuffixBound:
         import itertools
 
         instance = small_synthetic(seed=7, n=6)
-        bound = SuffixBound(instance)
+        engine = EvalEngine(instance)
         evaluator = ObjectiveEvaluator(instance)
         for order in itertools.permutations(range(6)):
             prefix = list(order[:3])
             prefix_obj, runtime, _ = evaluator.evaluate_prefix(prefix)
-            suffix_bound = bound.bound(runtime, set(prefix))
+            suffix_bound = engine.suffix_bound(runtime, set(prefix))
             total = evaluator.evaluate(list(order))
             assert prefix_obj + suffix_bound <= total + 1e-6
 
+    def test_mask_and_set_agree(self):
+        instance = small_synthetic(seed=2, n=6)
+        engine = EvalEngine(instance)
+        built = {0, 3, 4}
+        runtime = instance.total_runtime(built)
+        assert engine.suffix_bound(runtime, built) == pytest.approx(
+            engine.suffix_bound(runtime, engine.mask_of(built))
+        )
+
     def test_bound_positive_when_work_remains(self, paper_example):
-        bound = SuffixBound(paper_example)
-        assert bound.bound(paper_example.total_base_runtime, set()) > 0.0
+        engine = EvalEngine(paper_example)
+        assert (
+            engine.suffix_bound(paper_example.total_base_runtime, set()) > 0.0
+        )
 
 
 class TestRepairOrder:

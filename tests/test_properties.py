@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 
 from repro.analysis.constraints import ConstraintSet
 from repro.analysis.fixpoint import analyze
+from repro.core.engine import EvalEngine
 from repro.core.instance import ProblemInstance
 from repro.core.objective import ObjectiveEvaluator, PrefixCachedEvaluator
 from repro.core.serialization import instance_from_dict, instance_to_dict
@@ -143,6 +144,145 @@ class TestObjectiveProperties:
             instance.min_build_cost(i) for i in range(instance.n_indexes)
         )
         assert lower - 1e-9 <= schedule.total_deploy_time <= upper + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Engine delta evaluation: the guard rails of the shared backend.
+# Every solver trusts EvalEngine's delta results; these properties pin
+# them to the reference full evaluation at 1e-9 over random instances.
+# ----------------------------------------------------------------------
+@st.composite
+def instances_with_base_and_move(draw, max_indexes: int = 8):
+    instance = draw(instances(max_indexes=max_indexes))
+    n = instance.n_indexes
+    base = list(draw(st.permutations(list(range(n)))))
+    pos_a = draw(st.integers(min_value=0, max_value=n - 1))
+    pos_b = draw(st.integers(min_value=0, max_value=n - 1))
+    return instance, base, pos_a, pos_b
+
+
+class TestEngineDeltaProperties:
+    @COMMON_SETTINGS
+    @given(instances_with_base_and_move())
+    def test_swap_matches_full_evaluation(self, quad):
+        instance, base, pos_a, pos_b = quad
+        engine = EvalEngine(instance)
+        engine.set_base(base)
+        candidate = list(base)
+        candidate[pos_a], candidate[pos_b] = candidate[pos_b], candidate[pos_a]
+        expected = ObjectiveEvaluator(instance).evaluate(candidate)
+        assert engine.eval_swap(pos_a, pos_b) == pytest.approx(
+            expected, rel=1e-9, abs=1e-9
+        )
+
+    @COMMON_SETTINGS
+    @given(instances_with_base_and_move())
+    def test_relocate_and_insert_match_full_evaluation(self, quad):
+        instance, base, src, dst = quad
+        engine = EvalEngine(instance)
+        engine.set_base(base)
+        candidate = list(base)
+        moved = candidate.pop(src)
+        candidate.insert(dst, moved)
+        expected = ObjectiveEvaluator(instance).evaluate(candidate)
+        assert engine.eval_relocate(src, dst) == pytest.approx(
+            expected, rel=1e-9, abs=1e-9
+        )
+        assert engine.eval_insert(base[src], dst) == pytest.approx(
+            expected, rel=1e-9, abs=1e-9
+        )
+
+    @COMMON_SETTINGS
+    @given(instances_with_order())
+    def test_neighbor_evaluation_matches_full(self, pair):
+        instance, order = pair
+        engine = EvalEngine(instance)
+        engine.set_base(list(range(instance.n_indexes)))
+        expected = ObjectiveEvaluator(instance).evaluate(order)
+        assert engine.evaluate_neighbor(order) == pytest.approx(
+            expected, rel=1e-9, abs=1e-9
+        )
+
+    @COMMON_SETTINGS
+    @given(instances_with_base_and_move())
+    def test_swap_under_analysis_constraints(self, quad):
+        # Delta results must stay exact on orders drawn from the
+        # constrained search space the solvers actually explore.
+        instance, _, pos_a, pos_b = quad
+        report = analyze(instance)
+        base = report.constraints.topological_order()
+        engine = EvalEngine(instance)
+        engine.set_base(base)
+        candidate = list(base)
+        candidate[pos_a], candidate[pos_b] = candidate[pos_b], candidate[pos_a]
+        expected = ObjectiveEvaluator(instance).evaluate(candidate)
+        assert engine.eval_swap(pos_a, pos_b) == pytest.approx(
+            expected, rel=1e-9, abs=1e-9
+        )
+
+    @COMMON_SETTINGS
+    @given(instances_with_base_and_move())
+    def test_memo_survives_rebase(self, quad):
+        # Re-basing must invalidate nothing in the built-set memo (it is
+        # order-independent) and delta results must stay exact.
+        instance, base, pos_a, pos_b = quad
+        engine = EvalEngine(instance)
+        engine.set_base(list(range(instance.n_indexes)))
+        full_mask = engine.mask_of(range(instance.n_indexes))
+        runtime_before = engine.runtime_of(full_mask)
+        engine.set_base(base)
+        assert engine.runtime_of(full_mask) == runtime_before
+        candidate = list(base)
+        candidate[pos_a], candidate[pos_b] = candidate[pos_b], candidate[pos_a]
+        assert engine.eval_swap(pos_a, pos_b) == pytest.approx(
+            ObjectiveEvaluator(instance).evaluate(candidate),
+            rel=1e-9,
+            abs=1e-9,
+        )
+
+
+# ----------------------------------------------------------------------
+# swap_feasible: the windowed check must agree with the full scan on
+# feasible orders (its documented domain).
+# ----------------------------------------------------------------------
+class TestSwapFeasibleProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.randoms(use_true_random=False),
+    )
+    def test_matches_full_scan_on_feasible_orders(self, n, rng):
+        from repro.errors import InfeasibleError
+        from repro.solvers.base import repair_order
+        from repro.solvers.localsearch.neighborhood import swap_feasible
+
+        constraints = ConstraintSet(n)
+        for _ in range(rng.randint(0, 4)):
+            a, b = rng.randrange(n), rng.randrange(n)
+            if a == b:
+                continue
+            try:
+                if rng.random() < 0.5:
+                    constraints.add_precedence(a, b)
+                else:
+                    constraints.add_consecutive(a, b)
+            except InfeasibleError:
+                continue
+        order = list(range(n))
+        rng.shuffle(order)
+        order = repair_order(order, constraints)
+        if not constraints.check_order(order):
+            return  # repair_order glues pairs last; rare clashes skip
+        position_free = list(range(n))
+        for _ in range(15):
+            pos_a = rng.randrange(n)
+            pos_b = rng.randrange(n)
+            got = swap_feasible(order, pos_a, pos_b, constraints)
+            swapped = list(order)
+            swapped[pos_a], swapped[pos_b] = swapped[pos_b], swapped[pos_a]
+            want = constraints.check_order(swapped)
+            assert got == want, (order, pos_a, pos_b)
+        assert swap_feasible(position_free, 0, n - 1, None)
 
 
 # ----------------------------------------------------------------------
