@@ -95,6 +95,21 @@ def build_parser() -> argparse.ArgumentParser:
         "name",
         help="experiment name (e.g. table5, fig11, objectives)",
     )
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "shard the experiment grid across N worker processes "
+            "(table5/table6/fig13; default: 1 = sequential)"
+        ),
+    )
+    experiment.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        help="override the per-cell budget in seconds",
+    )
     return parser
 
 
@@ -171,6 +186,8 @@ def _cmd_analyze(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace, out) -> int:
+    import inspect
+
     from repro.experiments import ALL_EXPERIMENTS
 
     runner = ALL_EXPERIMENTS.get(args.name)
@@ -181,7 +198,26 @@ def _cmd_experiment(args: argparse.Namespace, out) -> int:
             file=out,
         )
         return 2
-    print(runner().render(), file=out)
+    parameters = inspect.signature(runner).parameters
+    kwargs = {}
+    if args.time_limit is not None:
+        if "time_limit" not in parameters:
+            print(
+                f"note: {args.name} does not take --time-limit; ignored",
+                file=out,
+            )
+        else:
+            kwargs["time_limit"] = args.time_limit
+    if args.workers != 1:
+        if "workers" not in parameters:
+            print(
+                f"note: {args.name} does not support --workers; "
+                "running sequentially",
+                file=out,
+            )
+        else:
+            kwargs["workers"] = args.workers
+    print(runner(**kwargs).render(), file=out)
     return 0
 
 

@@ -13,6 +13,7 @@ from repro.experiments import (
     fig11,
     fig12,
     fig13,
+    parallel,
     table4,
     table5,
     table6,
@@ -54,4 +55,5 @@ __all__ = [
     "build_savings",
     "ablation",
     "objectives",
+    "parallel",
 ]

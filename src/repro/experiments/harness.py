@@ -70,10 +70,10 @@ def engine_stats_note(label: str, stats: Optional[Dict[str, int]]) -> Optional[s
         )
     else:
         parts.append(f"{stats.get('full_evals', 0)} full evals")
-    if stats.get("memo_hits") or stats.get("memo_misses"):
-        parts.append(
-            f"memo {stats['memo_hits']}/{stats['memo_hits'] + stats['memo_misses']} hits"
-        )
+    memo_hits = stats.get("memo_hits", 0)
+    memo_misses = stats.get("memo_misses", 0)
+    if memo_hits or memo_misses:
+        parts.append(f"memo {memo_hits}/{memo_hits + memo_misses} hits")
     if stats.get("tt_prunes"):
         parts.append(f"{stats['tt_prunes']} transposition prunes")
     return " ".join(parts)
@@ -121,17 +121,27 @@ class ResultTable:
         self.notes.append(note)
 
     def render(self) -> str:
-        """ASCII-render the table with aligned columns."""
+        """ASCII-render the table with aligned columns.
+
+        Rows may carry more cells than there are headers (merged shard
+        tables produce such rows); extra columns get an empty header
+        and are sized from their cells alone.
+        """
         formatted = [[format_cell(cell) for cell in row] for row in self.rows]
-        widths = [len(header) for header in self.headers]
+        n_columns = max(
+            [len(self.headers)] + [len(row) for row in formatted]
+        )
+        widths = [0] * n_columns
+        for position, header in enumerate(self.headers):
+            widths[position] = len(header)
         for row in formatted:
             for position, cell in enumerate(row):
-                if position < len(widths):
-                    widths[position] = max(widths[position], len(cell))
+                widths[position] = max(widths[position], len(cell))
         lines = [self.title]
+        headers = list(self.headers) + [""] * (n_columns - len(self.headers))
         header_line = " | ".join(
             header.ljust(widths[position])
-            for position, header in enumerate(self.headers)
+            for position, header in enumerate(headers)
         )
         lines.append(header_line)
         lines.append("-+-".join("-" * width for width in widths))

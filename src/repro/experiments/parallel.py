@@ -1,0 +1,253 @@
+"""Sharded experiment execution across worker processes.
+
+The paper's table5/table6/fig13 grids are embarrassingly parallel:
+every cell (instance × solver × budget) is independent.  This module
+partitions a grid of :class:`Cell`\\ s across ``multiprocessing`` worker
+processes and merges the per-cell outcomes back into the exact
+sequential order, so an experiment runner assembles the *same*
+:class:`~repro.experiments.harness.ResultTable` rows regardless of the
+worker count.
+
+Guarantees:
+
+* **Deterministic shard assignment.**  :func:`shard_cells` is pure
+  round-robin over the sequential cell index (shard ``s`` gets cells
+  ``s, s+W, s+2W, ...``) — independent of timing, hostnames, or dict
+  order, so a re-run with the same worker count replays the identical
+  partition.
+* **Deterministic per-cell seeds.**  :func:`derive_seed` derives a
+  seed from ``(base_seed, cell_index)`` only, so a cell's seed does not
+  depend on which shard runs it or on the worker count.
+* **Sequential merge order.**  :func:`run_cells` always returns one
+  outcome per cell, ordered by the cells' sequential index — byte-wise
+  identical assembly for ``workers=1`` and ``workers=N`` whenever the
+  cell payloads themselves are deterministic.
+* **Crash isolation.**  A cell that raises becomes a structured error
+  outcome (other cells are unaffected); a worker process that dies
+  (hard crash) or exceeds the run ``timeout`` yields error outcomes for
+  its unfinished cells instead of hanging the whole run.  Experiment
+  runners render such outcomes as the paper's ``DF`` cells plus a note.
+
+``workers <= 1`` executes inline in the calling process — the code path
+the sequential experiment runners have always used.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Cell",
+    "CellOutcome",
+    "derive_seed",
+    "run_cells",
+    "shard_cells",
+]
+
+#: Sentinel a worker enqueues after finishing its shard.
+_SHARD_DONE = "__shard_done__"
+
+#: Queue poll interval while waiting on workers (seconds).
+_POLL = 0.2
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One experiment-grid cell.
+
+    Attributes:
+        index: Position in the sequential enumeration of the grid; the
+            merge key.  Must be unique per run.
+        label: Human-readable identity (``"table5[mip|8 low]"``) used in
+            error notes.
+        fn: Module-level callable computing the cell payload (must be
+            picklable for the multiprocessing path).
+        args: Positional arguments for ``fn``.
+        kwargs: Keyword arguments for ``fn``.
+    """
+
+    index: int
+    label: str
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class CellOutcome:
+    """Result of one cell: a payload or a structured error."""
+
+    index: int
+    label: str
+    value: Any = None
+    error: Optional[str] = None
+    elapsed: float = 0.0
+    shard: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when the cell produced a payload."""
+        return self.error is None
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """Deterministic per-cell seed, independent of shard assignment."""
+    return (base_seed * 1_000_003 + index * 7_919 + 12_345) % (2**31 - 1)
+
+
+def shard_cells(n_cells: int, workers: int) -> List[List[int]]:
+    """Round-robin partition of cell indexes ``0..n_cells-1``.
+
+    Shard ``s`` receives cells ``s, s + W, s + 2W, ...`` — a pure
+    function of ``(n_cells, workers)``.  Round-robin (rather than
+    contiguous chunks) balances grids whose cost varies monotonically
+    along the enumeration, e.g. instance sizes ascending within a
+    method row.
+    """
+    if n_cells <= 0:
+        return []
+    workers = max(1, min(workers, n_cells))
+    return [list(range(shard, n_cells, workers)) for shard in range(workers)]
+
+
+def _execute(cell: Cell, shard: int) -> CellOutcome:
+    """Run one cell, converting any exception into an error outcome."""
+    start = time.perf_counter()
+    try:
+        value = cell.fn(*cell.args, **cell.kwargs)
+        return CellOutcome(
+            index=cell.index,
+            label=cell.label,
+            value=value,
+            elapsed=time.perf_counter() - start,
+            shard=shard,
+        )
+    except Exception as exc:  # crash isolation: never take down the grid
+        detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+        return CellOutcome(
+            index=cell.index,
+            label=cell.label,
+            error=detail,
+            elapsed=time.perf_counter() - start,
+            shard=shard,
+        )
+
+
+def _shard_worker(shard: int, cells: List[Cell], results) -> None:
+    """Worker-process entry point: run one shard's cells in order."""
+    for cell in cells:
+        results.put((shard, _execute(cell, shard)))
+    results.put((shard, _SHARD_DONE))
+
+
+def run_cells(
+    cells: Sequence[Cell],
+    workers: Optional[int] = 1,
+    timeout: Optional[float] = None,
+) -> List[CellOutcome]:
+    """Execute ``cells`` and return outcomes in sequential cell order.
+
+    Args:
+        cells: The grid, enumerated in sequential (reference) order;
+            ``cell.index`` values must be unique.
+        workers: Worker-process count; ``None`` means one per CPU, and
+            values ``<= 1`` run inline without multiprocessing.
+        timeout: Optional wall-clock cap in seconds for the whole
+            parallel run; unfinished cells become error outcomes.
+            Ignored on the inline path.
+    """
+    cells = list(cells)
+    if len({cell.index for cell in cells}) != len(cells):
+        raise ValueError("cell indexes must be unique")
+    if workers is None:
+        workers = multiprocessing.cpu_count()
+    if workers <= 1 or len(cells) <= 1:
+        return [_execute(cell, 0) for cell in cells]
+
+    shards = shard_cells(len(cells), workers)
+    methods = multiprocessing.get_all_start_methods()
+    # fork shares the parent's warm instance caches copy-on-write;
+    # spawn (the only option on some platforms) re-imports, which is
+    # why Cell.fn must be a picklable module-level callable.
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+    results = context.Queue()
+    processes: List[Tuple[int, Any]] = []
+    for shard, indexes in enumerate(shards):
+        if not indexes:
+            continue
+        process = context.Process(
+            target=_shard_worker,
+            args=(shard, [cells[i] for i in indexes], results),
+            daemon=True,
+        )
+        process.start()
+        processes.append((shard, process))
+
+    outcomes: Dict[int, CellOutcome] = {}
+    finished = set()
+    deadline = None if timeout is None else time.monotonic() + timeout
+    timed_out = False
+    try:
+        while len(finished) < len(processes):
+            wait = _POLL
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    timed_out = True
+                    break
+                wait = min(wait, remaining)
+            try:
+                shard, payload = results.get(timeout=wait)
+            except queue_module.Empty:
+                # A worker that died without its sentinel (hard crash)
+                # must not hang the run; mark it finished so its cells
+                # merge as error outcomes.
+                for shard, process in processes:
+                    if shard not in finished and not process.is_alive():
+                        finished.add(shard)
+                continue
+            if payload == _SHARD_DONE:
+                finished.add(shard)
+            else:
+                outcomes[payload.index] = payload
+        # Drain stragglers already sitting in the queue buffer.
+        while True:
+            try:
+                shard, payload = results.get_nowait()
+            except queue_module.Empty:
+                break
+            if payload != _SHARD_DONE:
+                outcomes[payload.index] = payload
+    finally:
+        for _, process in processes:
+            if process.is_alive():
+                process.terminate()
+        for _, process in processes:
+            process.join(timeout=5.0)
+        results.close()
+
+    merged: List[CellOutcome] = []
+    n_shards = len(shards)
+    for cell in cells:
+        outcome = outcomes.get(cell.index)
+        if outcome is None:
+            reason = (
+                f"sharded run timed out after {timeout:.1f}s"
+                if timed_out
+                else "worker process crashed before finishing this cell"
+            )
+            outcome = CellOutcome(
+                index=cell.index,
+                label=cell.label,
+                error=reason,
+                shard=cell.index % n_shards,
+            )
+        merged.append(outcome)
+    return merged

@@ -13,7 +13,7 @@ VNS finds the optimum-quality solution in every cell without a proof.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.fixpoint import analyze
 from repro.core.instance import ProblemInstance
@@ -26,9 +26,13 @@ from repro.experiments.harness import (
     quick_mode,
 )
 from repro.experiments.instances import reduced_tpch
+from repro.experiments.parallel import Cell, run_cells
 from repro.solvers.base import Budget
 
-__all__ = ["run", "solve_cell", "default_grid"]
+__all__ = ["run", "solve_cell", "default_grid", "METHODS"]
+
+#: Row order of the paper's Table 5.
+METHODS = ("mip", "cp", "mip+", "cp+", "vns")
 
 
 def default_grid(quick: bool) -> List[Tuple[int, str]]:
@@ -73,11 +77,46 @@ def solve_cell(
     return result
 
 
+def _cell_payload(
+    method: str, size: int, density: str, time_limit: float
+) -> Dict[str, Any]:
+    """Compute one grid cell (runs in a shard worker or inline)."""
+    instance = reduced_tpch(size, density)
+    stats: Dict[str, int] = {}
+    result = solve_cell(method, instance, time_limit, stats_out=stats)
+    return {"cell": _format_result(result), "stats": stats}
+
+
+def build_cells(
+    columns: Sequence[Tuple[int, str]], time_limit: float
+) -> List[Cell]:
+    """Enumerate the grid in the sequential (method-major) order."""
+    cells: List[Cell] = []
+    for method in METHODS:
+        for size, density in columns:
+            cells.append(
+                Cell(
+                    index=len(cells),
+                    label=f"table5[{method}|{size} {density}]",
+                    fn=_cell_payload,
+                    args=(method, size, density, time_limit),
+                )
+            )
+    return cells
+
+
 def run(
     time_limit: Optional[float] = None,
     grid: Optional[Sequence[Tuple[int, str]]] = None,
+    workers: int = 1,
 ) -> ResultTable:
-    """Regenerate Table 5 with scaled budgets."""
+    """Regenerate Table 5 with scaled budgets.
+
+    ``workers > 1`` shards the (method × size) grid across worker
+    processes; the merged table keeps the exact sequential row order,
+    and a cell whose worker crashed or timed out renders as ``DF`` with
+    an explanatory note.
+    """
     quick = quick_mode()
     if time_limit is None:
         time_limit = 10.0 if quick else 60.0
@@ -90,24 +129,30 @@ def run(
         headers=["Method"]
         + [f"|I|={size} {density}" for size, density in columns],
     )
-    optima: Dict[Tuple[int, str], float] = {}
-    results: Dict[str, List[str]] = {}
-    method_stats: Dict[str, Dict[str, int]] = {}
-    for method in ("mip", "cp", "mip+", "cp+", "vns"):
-        cells: List[str] = []
+    cells = build_cells(columns, time_limit)
+    outcomes = run_cells(
+        cells, workers=workers, timeout=_grid_timeout(cells, workers, time_limit)
+    )
+    errors: List[str] = []
+    stats_notes: List[str] = []
+    position = 0
+    for method in METHODS:
+        row: List[str] = []
         stats: Dict[str, int] = {}
-        method_stats[method] = stats
-        for size, density in columns:
-            instance = reduced_tpch(size, density)
-            result = solve_cell(method, instance, time_limit, stats_out=stats)
-            cell = _format_result(result)
-            if result.status is SolveStatus.OPTIMAL and result.objective is not None:
-                key = (size, density)
-                optima.setdefault(key, result.objective)
-            cells.append(cell)
-        results[method] = cells
-        table.add_row(method.upper(), *cells)
-    # VNS quality note: did it match the proven optimum where one exists?
+        for _ in columns:
+            outcome = outcomes[position]
+            position += 1
+            if outcome.ok:
+                row.append(outcome.value["cell"])
+                for key, value in outcome.value["stats"].items():
+                    stats[key] = stats.get(key, 0) + value
+            else:
+                row.append(DF)
+                errors.append(f"{outcome.label}: {outcome.error}")
+        table.add_row(method.upper(), *row)
+        note = engine_stats_note(method, stats)
+        if note is not None:
+            stats_notes.append(note)
     table.add_note(
         "DF = no optimality proof (or no solution) within the budget; "
         "VNS cells report time to its best solution (no proof), "
@@ -118,11 +163,24 @@ def run(
         "constraints (+) rescue them by orders of magnitude; VNS is "
         "instant at every size"
     )
-    for method, stats in method_stats.items():
-        note = engine_stats_note(method, stats)
-        if note is not None:
-            table.add_note(note)
+    for note in stats_notes:
+        table.add_note(note)
+    for error in errors:
+        table.add_note(f"sharded cell failed: {error}")
     return table
+
+
+def _grid_timeout(
+    cells: Sequence[Cell], workers: int, time_limit: float
+) -> Optional[float]:
+    """Generous wall-clock cap so a hung worker cannot hang the run."""
+    if workers <= 1:
+        return None
+    per_shard = -(-len(cells) // max(1, workers))  # ceil division
+    # Budgeted solve + pre-analysis + instance build per cell, plus
+    # fork/queue overhead; generous because exceeding it turns cells
+    # into DF, which must never happen on a healthy run.
+    return per_shard * (time_limit + 30.0) + 60.0
 
 
 def _format_result(result: SolveResult) -> str:

@@ -69,6 +69,14 @@ class Solver(abc.ABC):
     #: Short name used in result records and experiment tables.
     name: str = "solver"
 
+    #: Optional externally-supplied shared evaluation backend.  A driver
+    #: that races several solvers on one instance (the portfolio) sets
+    #: this so the built-set runtime memo and prefix-cursor state
+    #: compound across members instead of every solver paying for a cold
+    #: engine.  Ignored (a fresh engine is built) when the engine was
+    #: constructed for a different instance.
+    engine: Optional[EvalEngine] = None
+
     @abc.abstractmethod
     def solve(
         self,
@@ -87,7 +95,13 @@ class Solver(abc.ABC):
         return ObjectiveEvaluator(instance)
 
     def _engine(self, instance: ProblemInstance) -> EvalEngine:
-        """Fresh shared evaluation backend for one solve."""
+        """Evaluation backend for one solve.
+
+        Returns the externally-shared :attr:`engine` when one was
+        injected for this exact instance, else a fresh engine.
+        """
+        if self.engine is not None and self.engine.instance is instance:
+            return self.engine
         return EvalEngine(instance)
 
 

@@ -46,12 +46,15 @@ class CPModel:
         instance: ProblemInstance,
         constraints: Optional[ConstraintSet] = None,
         hall: bool = True,
+        engine: Optional[EvalEngine] = None,
     ) -> None:
         self.instance = instance
         self.constraints = constraints
         self.n = instance.n_indexes
         self.hall = hall
-        self._engine: Optional[EvalEngine] = None
+        if engine is not None and engine.instance is not instance:
+            engine = None  # a foreign engine's caches would be wrong
+        self._engine: Optional[EvalEngine] = engine
 
     @property
     def engine(self) -> EvalEngine:
@@ -330,7 +333,9 @@ class CPSolver(Solver):
         budget: Optional[Budget] = None,
     ) -> SolveResult:
         start = time.perf_counter()
-        model = CPModel(instance, constraints, hall=self.hall)
+        model = CPModel(
+            instance, constraints, hall=self.hall, engine=self._engine(instance)
+        )
         incumbent_order = None
         incumbent_objective = None
         if self.seed_incumbent:

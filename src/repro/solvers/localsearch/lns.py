@@ -107,7 +107,9 @@ class LNSSolver(Solver):
         # Hall filtering costs O(n^2) per propagation and adds little
         # inside a mostly-fixed neighborhood; forward checking plus
         # precedence propagation carry the relaxation sub-searches.
-        model = CPModel(instance, constraints, hall=False)
+        model = CPModel(
+            instance, constraints, hall=False, engine=self._engine(instance)
+        )
         current = model.engine.evaluate(order)
         relax_size = max(2, round(self.relax_fraction * n))
         trace: List[Tuple[float, float]] = [

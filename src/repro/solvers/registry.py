@@ -50,6 +50,9 @@ class SolverSpec:
         exact: Proves optimality given enough budget.
         stochastic: Results depend on a ``seed`` keyword.
         accepts_initial_order: Accepts an ``initial_order`` keyword.
+        composite: Drives *other* registered solvers (e.g. the
+            portfolio); composite entries are excluded when a driver
+            enumerates candidate members, so composition cannot recurse.
     """
 
     name: str
@@ -60,6 +63,7 @@ class SolverSpec:
     exact: bool = False
     stochastic: bool = False
     accepts_initial_order: bool = False
+    composite: bool = False
 
     def create(self, **kwargs) -> Solver:
         """Instantiate the solver, forwarding configuration kwargs."""
@@ -73,9 +77,25 @@ _DISCOVERED = False
 def register_factory(
     name: str,
     factory: Callable[..., Solver],
+    *,
+    replace: bool = False,
     **flags,
 ) -> SolverSpec:
-    """Register ``factory`` under ``name``; returns the spec."""
+    """Register ``factory`` under ``name``; returns the spec.
+
+    Raises:
+        SolverError: When ``name`` is already registered and ``replace``
+            is not set.  Silent overwrites used to mask solver-name
+            collisions, which matters now that portfolio variants
+            register programmatically; tests that intentionally shadow
+            an entry pass ``replace=True``.
+    """
+    if not replace and name in _REGISTRY:
+        raise SolverError(
+            f"solver {name!r} is already registered "
+            f"(by {_REGISTRY[name].factory!r}); pass replace=True to "
+            "override intentionally"
+        )
     spec = SolverSpec(name=name, factory=factory, **flags)
     _REGISTRY[name] = spec
     return spec

@@ -61,6 +61,26 @@ class TestResultTable:
         table.add_note("hello note")
         assert "hello note" in table.render()
 
+    def test_row_wider_than_headers_renders_every_cell(self):
+        # Merged shard tables can carry more cells per row than headers;
+        # this used to raise IndexError while sizing the extra columns.
+        table = ResultTable("T", headers=["method", "t"])
+        table.add_row("base", 1.0)
+        table.add_row("wide", 2.0, 3.0, "extra")
+        text = table.render()
+        assert "2.00" in text
+        assert "3.00" in text
+        assert "extra" in text
+
+    def test_wide_rows_stay_aligned(self):
+        table = ResultTable("T", headers=["m"])
+        table.add_row("a", 1.0)
+        table.add_row("bb", 22.0)
+        lines = table.render().splitlines()
+        data = [line for line in lines if "|" in line]
+        pipes = {line.index("|") for line in data}
+        assert len(pipes) == 1
+
     def test_as_dict_roundtrip_fields(self):
         table = ResultTable("T", headers=["a"])
         table.add_row(1.0)
@@ -125,3 +145,17 @@ class TestEngineStatsNote:
         note = engine_stats_note("cp", {"full_evals": 7, "delta_evals": 0})
         assert note.startswith("engine[cp]:")
         assert "7 full evals" in note
+
+    def test_memo_misses_without_hits_key(self):
+        # Partial stats dicts (e.g. from a trimmed as_dict) used to
+        # raise KeyError on the missing memo_hits key.
+        note = engine_stats_note(
+            "vns", {"full_evals": 3, "memo_misses": 5}
+        )
+        assert "memo 0/5 hits" in note
+
+    def test_memo_hits_without_misses_key(self):
+        note = engine_stats_note(
+            "vns", {"full_evals": 3, "memo_hits": 4}
+        )
+        assert "memo 4/4 hits" in note

@@ -1,0 +1,263 @@
+"""Tests for the sharded experiment runner (repro.experiments.parallel).
+
+The core guarantee: a merged run at any worker count produces outcomes
+in the exact sequential cell order, with deterministic shard assignment
+and per-cell seeds, and crashes/timeouts become structured error cells
+instead of hanging or killing the grid.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.harness import DF, ResultTable
+from repro.experiments.parallel import (
+    Cell,
+    CellOutcome,
+    derive_seed,
+    run_cells,
+    shard_cells,
+)
+
+
+# ----------------------------------------------------------------------
+# Module-level cell functions (must be picklable for worker processes)
+# ----------------------------------------------------------------------
+def _square(value: int) -> int:
+    return value * value
+
+
+def _seeded_payload(seed: int, size: int) -> str:
+    """A deterministic pseudo-experiment: objective of a seeded shuffle."""
+    import random
+
+    rng = random.Random(seed)
+    values = [rng.random() for _ in range(size)]
+    return f"{sum(v * (i + 1) for i, v in enumerate(values)):.6f}"
+
+
+def _boom(message: str) -> None:
+    raise RuntimeError(message)
+
+
+def _hard_crash() -> None:
+    os._exit(17)  # bypasses Python cleanup: simulates a segfaulting worker
+
+
+def _sleep_forever() -> None:
+    time.sleep(600)
+
+
+def _make_cells(fn, payloads):
+    return [
+        Cell(index=i, label=f"cell[{i}]", fn=fn, args=args)
+        for i, args in enumerate(payloads)
+    ]
+
+
+class TestShardAssignment:
+    def test_round_robin_partition(self):
+        shards = shard_cells(10, 3)
+        assert shards == [[0, 3, 6, 9], [1, 4, 7], [2, 5, 8]]
+
+    def test_partition_is_exact(self):
+        for n_cells in (0, 1, 5, 17):
+            for workers in (1, 2, 4, 32):
+                shards = shard_cells(n_cells, workers)
+                flat = sorted(i for shard in shards for i in shard)
+                assert flat == list(range(n_cells))
+
+    def test_more_workers_than_cells_caps_shards(self):
+        shards = shard_cells(2, 8)
+        assert len(shards) == 2
+
+    def test_deterministic(self):
+        assert shard_cells(23, 4) == shard_cells(23, 4)
+
+
+class TestDeriveSeed:
+    def test_depends_only_on_base_and_index(self):
+        assert derive_seed(0, 3) == derive_seed(0, 3)
+        assert derive_seed(0, 3) != derive_seed(0, 4)
+        assert derive_seed(1, 3) != derive_seed(0, 3)
+
+    def test_in_rng_range(self):
+        for index in range(100):
+            assert 0 <= derive_seed(7, index) < 2**31
+
+
+class TestRunCellsInline:
+    def test_sequential_order_and_values(self):
+        cells = _make_cells(_square, [(i,) for i in range(7)])
+        outcomes = run_cells(cells, workers=1)
+        assert [o.index for o in outcomes] == list(range(7))
+        assert [o.value for o in outcomes] == [i * i for i in range(7)]
+        assert all(o.ok for o in outcomes)
+
+    def test_exception_becomes_error_cell(self):
+        cells = [
+            Cell(index=0, label="ok", fn=_square, args=(3,)),
+            Cell(index=1, label="bad", fn=_boom, args=("kapow",)),
+            Cell(index=2, label="ok2", fn=_square, args=(4,)),
+        ]
+        outcomes = run_cells(cells, workers=1)
+        assert outcomes[0].value == 9
+        assert not outcomes[1].ok
+        assert "kapow" in outcomes[1].error
+        assert outcomes[2].value == 16
+
+    def test_duplicate_indexes_rejected(self):
+        cells = [
+            Cell(index=0, label="a", fn=_square, args=(1,)),
+            Cell(index=0, label="b", fn=_square, args=(2,)),
+        ]
+        with pytest.raises(ValueError, match="unique"):
+            run_cells(cells, workers=1)
+
+
+class TestRunCellsSharded:
+    def test_merged_outcomes_identical_to_sequential(self):
+        """The headline determinism property: N workers == 1 worker.
+
+        Cell payloads here are deterministic (seeded), so the merged
+        values — and a ResultTable rendered from them — must be
+        byte-identical between the inline and sharded paths.
+        """
+        cells = [
+            Cell(
+                index=i,
+                label=f"det[{i}]",
+                fn=_seeded_payload,
+                args=(derive_seed(0, i), 50),
+            )
+            for i in range(12)
+        ]
+        sequential = run_cells(cells, workers=1)
+        sharded = run_cells(cells, workers=4, timeout=120.0)
+        assert [o.index for o in sharded] == [o.index for o in sequential]
+        assert [o.value for o in sharded] == [o.value for o in sequential]
+
+        def render(outcomes):
+            table = ResultTable("grid", headers=["cell", "objective"])
+            for outcome in outcomes:
+                table.add_row(outcome.label, outcome.value)
+            return table.render()
+
+        assert render(sharded) == render(sequential)
+
+    def test_exception_in_worker_is_isolated(self):
+        cells = [
+            Cell(index=0, label="ok0", fn=_square, args=(2,)),
+            Cell(index=1, label="bad", fn=_boom, args=("worker blew up",)),
+            Cell(index=2, label="ok2", fn=_square, args=(5,)),
+            Cell(index=3, label="ok3", fn=_square, args=(6,)),
+        ]
+        outcomes = run_cells(cells, workers=2, timeout=60.0)
+        assert outcomes[0].value == 4
+        assert not outcomes[1].ok
+        assert "worker blew up" in outcomes[1].error
+        assert outcomes[2].value == 25
+        assert outcomes[3].value == 36
+
+    def test_hard_crash_yields_error_cells_for_lost_shard(self):
+        # Shard 1 (round-robin) owns cells 1 and 3; it dies on cell 1,
+        # so both its cells must come back as structured errors while
+        # shard 0's cells survive.
+        cells = [
+            Cell(index=0, label="ok0", fn=_square, args=(2,)),
+            Cell(index=1, label="crash", fn=_hard_crash),
+            Cell(index=2, label="ok2", fn=_square, args=(3,)),
+            Cell(index=3, label="lost", fn=_square, args=(4,)),
+        ]
+        outcomes = run_cells(cells, workers=2, timeout=60.0)
+        assert outcomes[0].value == 4
+        assert outcomes[2].value == 9
+        assert not outcomes[1].ok and "crash" in outcomes[1].error
+        assert not outcomes[3].ok and "crash" in outcomes[3].error
+
+    def test_timeout_yields_error_cells_instead_of_hanging(self):
+        cells = [
+            Cell(index=0, label="ok", fn=_square, args=(2,)),
+            Cell(index=1, label="hung", fn=_sleep_forever),
+        ]
+        start = time.monotonic()
+        outcomes = run_cells(cells, workers=2, timeout=3.0)
+        assert time.monotonic() - start < 30.0
+        assert outcomes[0].value == 4
+        assert not outcomes[1].ok
+        assert "timed out" in outcomes[1].error
+
+
+class TestExperimentRunnersSharded:
+    """The real grid runners produce the same table shape at any worker
+    count; measured-runtime digits are nondeterministic even between two
+    sequential runs, so the comparison projects each cell to its status
+    category (DF / starred / finished / empty)."""
+
+    @staticmethod
+    def _categories(table):
+        def category(cell):
+            text = str(cell)
+            if text == DF:
+                return "DF"
+            if text.endswith("*"):
+                return "star"
+            return "done" if text else "empty"
+
+        return [
+            [row[0]] + [category(cell) for cell in row[1:]]
+            for row in table.rows
+        ]
+
+    def test_table5_sharded_matches_sequential_projection(self):
+        from repro.experiments import table5
+
+        grid = [(6, "low")]
+        sequential = table5.run(time_limit=3.0, grid=grid, workers=1)
+        sharded = table5.run(time_limit=3.0, grid=grid, workers=2)
+        assert sharded.headers == sequential.headers
+        assert [row[0] for row in sharded.rows] == [
+            row[0] for row in sequential.rows
+        ]
+        assert self._categories(sharded) == self._categories(sequential)
+        assert not any("sharded cell failed" in n for n in sharded.notes)
+
+    def test_table6_sharded_matches_sequential_projection(self):
+        from repro.experiments import table6
+
+        sequential = table6.run(time_limit=3.0, sizes=[6], workers=1)
+        sharded = table6.run(time_limit=3.0, sizes=[6], workers=3)
+        assert sharded.headers == sequential.headers
+        assert [row[0] for row in sharded.rows] == [
+            row[0] for row in sequential.rows
+        ]
+        assert self._categories(sharded) == self._categories(sequential)
+        # The implied-pair counts are exact and must merge identically.
+        assert [row[-1] for row in sharded.rows] == [
+            row[-1] for row in sequential.rows
+        ]
+        assert not any("sharded cell failed" in n for n in sharded.notes)
+
+    def test_fig13_seed_race_runs_sharded(self):
+        from repro.experiments import fig13
+
+        # The reduced instance keeps greedy construction + the first
+        # VNS descent cheap; the full TPC-DS instance takes minutes
+        # per cell regardless of time_limit.
+        table = fig13.run(
+            time_limit=1.0,
+            workers=2,
+            seeds=(0, 1),
+            instance_name="reduced-10",
+        )
+        assert table.headers == [
+            "Elapsed [s]",
+            "Deployment time",
+            "Avg query runtime",
+        ]
+        assert len(table.rows) >= 1
+        assert any("seed race" in note for note in table.notes)
+        assert not any("sharded cell failed" in n for n in table.notes)

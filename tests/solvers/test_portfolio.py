@@ -1,0 +1,147 @@
+"""Tests for the portfolio solver (repro.solvers.portfolio)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.fixpoint import analyze
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.solution import SolveStatus
+from repro.solvers.base import Budget
+from repro.solvers.portfolio import PortfolioSolver, anytime_members
+from repro.solvers.registry import create, get_spec, solver_specs
+from repro.errors import SolverError
+
+from tests.conftest import brute_force_best, small_synthetic
+
+
+class TestMembership:
+    def test_capability_driven_default_members(self):
+        members = anytime_members()
+        specs = solver_specs()
+        for member in members:
+            assert specs[member].anytime
+            assert not specs[member].composite
+        # Every non-composite anytime solver joins automatically.
+        expected = {
+            name
+            for name, spec in specs.items()
+            if spec.anytime and not spec.composite
+        }
+        assert set(members) == expected
+        assert {"vns", "ts-bswap", "ts-fswap", "cp", "lns"} <= set(members)
+
+    def test_portfolio_registered_as_composite(self):
+        spec = get_spec("portfolio")
+        assert spec.composite
+        assert spec.anytime
+        assert "portfolio" not in anytime_members()
+        assert "portfolio-ls" not in anytime_members()
+
+    def test_non_anytime_member_rejected(self):
+        solver = PortfolioSolver(members=("greedy",))
+        with pytest.raises(SolverError, match="anytime"):
+            solver._member_specs()
+
+    def test_nested_portfolio_rejected(self):
+        solver = PortfolioSolver(members=("portfolio-ls",))
+        with pytest.raises(SolverError, match="nest"):
+            solver._member_specs()
+
+    def test_registry_create(self):
+        solver = create("portfolio", seed=3)
+        assert isinstance(solver, PortfolioSolver)
+        assert solver.seed == 3
+        ls = create("portfolio-ls")
+        assert ls.members == ("ts-bswap", "ts-fswap", "vns")
+
+
+class TestSolve:
+    def test_returns_valid_solution(self, tiny3):
+        result = PortfolioSolver(rounds=1).solve(
+            tiny3, None, Budget(time_limit=1.0)
+        )
+        assert result.solution is not None
+        assert sorted(result.solution.order) == [0, 1, 2]
+        result.solution.validate_against(tiny3)
+
+    def test_finds_optimum_on_small_instance(self):
+        instance = small_synthetic(seed=11, n=6)
+        _, optimum = brute_force_best(instance)
+        result = PortfolioSolver(rounds=2).solve(
+            instance, None, Budget(time_limit=4.0)
+        )
+        assert result.objective == pytest.approx(optimum, rel=1e-6)
+
+    def test_optimality_short_circuit(self):
+        # CP closes a 5-index instance instantly; the portfolio must
+        # adopt the proof and report OPTIMAL instead of burning budget.
+        instance = small_synthetic(seed=4, n=5)
+        result = PortfolioSolver(members=("cp",), rounds=1).solve(
+            instance, None, Budget(time_limit=10.0)
+        )
+        assert result.status is SolveStatus.OPTIMAL
+        _, optimum = brute_force_best(instance)
+        assert result.objective == pytest.approx(optimum, rel=1e-9)
+        assert result.runtime < 9.0
+
+    def test_respects_constraints(self, precedence_example):
+        report = analyze(precedence_example)
+        result = PortfolioSolver(rounds=1).solve(
+            precedence_example, report.constraints, Budget(time_limit=1.5)
+        )
+        assert result.solution is not None
+        assert report.constraints.check_order(result.solution.order)
+
+    def test_warm_start_respected(self, tiny3):
+        evaluator = ObjectiveEvaluator(tiny3)
+        warm = [2, 0, 1]
+        result = PortfolioSolver(
+            rounds=1, initial_order=warm
+        ).solve(tiny3, None, Budget(time_limit=0.5))
+        # The shared incumbent starts at the warm start and only improves.
+        assert result.objective <= evaluator.evaluate(warm) + 1e-9
+
+    def test_shared_engine_stats_exposed(self, tiny3):
+        solver = PortfolioSolver(rounds=1)
+        solver.solve(tiny3, None, Budget(time_limit=0.8))
+        stats = solver.last_engine_stats
+        assert stats is not None
+        assert stats["full_evals"] + stats["delta_evals"] > 0
+        assert solver.last_race_log, "race log records member slices"
+
+    def test_shared_engine_reused_across_members(self):
+        from repro.core.engine import EvalEngine
+
+        instance = small_synthetic(seed=2, n=6)
+        engine = EvalEngine(instance)
+        solver = PortfolioSolver(members=("vns", "ts-fswap"), rounds=1)
+        solver.engine = engine
+        solver.solve(instance, None, Budget(time_limit=0.6))
+        # Both member families worked through the injected engine:
+        # tabu's swap scan uses the delta path, everything else full
+        # evaluations — all booked on the one shared stats object.
+        assert engine.stats.delta_evals > 0
+        assert engine.stats.full_evals > 0
+
+
+class TestNeverWorseThanWorstMember:
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_portfolio_not_worse_than_worst_member(self, seed):
+        """The shared-incumbent race can only improve on the common
+        greedy start, so the portfolio must never lose to its *worst*
+        member given the same budget."""
+        instance = small_synthetic(seed=seed, n=8)
+        members = ("vns", "ts-fswap")
+        budget = 1.2
+        member_objectives = []
+        for name in members:
+            result = create(name).solve(
+                instance, None, Budget(time_limit=budget)
+            )
+            member_objectives.append(result.objective)
+        portfolio = PortfolioSolver(members=members, rounds=2).solve(
+            instance, None, Budget(time_limit=budget)
+        )
+        worst = max(member_objectives)
+        assert portfolio.objective <= worst * (1 + 1e-9)

@@ -101,3 +101,27 @@ class TestRegistration:
         from repro.cli import SOLVERS
 
         assert set(SOLVERS) == set(available_solvers())
+
+    def test_duplicate_registration_raises(self):
+        class _Dummy(Solver):
+            name = "dummy"
+
+            def solve(self, instance, constraints=None, budget=None):
+                raise NotImplementedError
+
+        register_factory("test-dup", _Dummy)
+        try:
+            # Silent overwrites used to mask name collisions; now they
+            # fail loudly unless the caller opts in with replace=True.
+            with pytest.raises(SolverError, match="already registered"):
+                register_factory("test-dup", _Dummy)
+            assert get_spec("test-dup").summary == ""
+            replaced = register_factory(
+                "test-dup", _Dummy, replace=True, summary="v2"
+            )
+            assert replaced.summary == "v2"
+            assert get_spec("test-dup").summary == "v2"
+        finally:
+            from repro.solvers import registry
+
+            registry._REGISTRY.pop("test-dup", None)
