@@ -7,7 +7,7 @@ sequence is evaluated by both backends, *interleaved in one process*
 (this machine's CPU frequency drifts between processes, so only
 same-process ratios are stable), and the engine must stay ahead.
 
-Two patterns are measured:
+Three patterns are measured against the checkpoint evaluator:
 
 * ``scan`` — the TS-BSwap pair scan (``pos_a`` ascending, ``pos_b``
   inner), where cursor alignment is amortized to single steps and the
@@ -15,9 +15,19 @@ Two patterns are measured:
   path.
 * ``random`` — uniformly random swaps, the worst case for cursor
   alignment.
+* ``scattered`` — multi-chunk neighbors of the LNS relaxation shape,
+  exercising the balanced-chunk + base-snapshot ``evaluate_neighbor``
+  path (the neighbor replays only its changed runs, not the gaps).
 
-Measured on the reference box: ~2.3x (scan) and ~1.3x (random).  The
-asserted floors are deliberately conservative to absorb machine noise.
+A second benchmark pins the vectorized layer (``repro.core.batch``):
+the same tabu neighborhood-scan sequence runs through the scalar and
+numpy kernels of ``EvalEngine.eval_all_swaps``, interleaved scan by
+scan, and the numpy kernel must be >= 3x faster *including* its
+per-base precompute.  Results land in ``BENCH_batch.json``.
+
+Measured on the reference box: ~2.3x (scan), ~1.3x (random), ~2.2x
+(scattered), ~4x (numpy batch vs scalar scan, n=96).  The asserted
+floors are deliberately conservative to absorb machine noise.
 """
 
 from __future__ import annotations
@@ -30,11 +40,21 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.batch import HAVE_NUMPY
 from repro.core.engine import EvalEngine
 from repro.core.objective import PrefixCachedEvaluator
 from repro.experiments.instances import tpch_instance
+from repro.workloads import GeneratorConfig, generate_instance
 
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_localsearch.json"
+BATCH_RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_batch.json"
+
+
+def _smoke_rounds(full: int) -> int:
+    """Round count, cut down when ``REPRO_BENCH_SMOKE=1`` (CI smoke)."""
+    if os.environ.get("REPRO_BENCH_SMOKE") == "1":
+        return max(1, full // 4)
+    return full
 
 
 def _interleaved_ratio(instance, moves, rounds: int) -> dict:
@@ -74,17 +94,73 @@ def _interleaved_ratio(instance, moves, rounds: int) -> dict:
     }
 
 
+def _interleaved_scattered_ratio(instance, orders, rounds: int) -> dict:
+    """A/B ``evaluate_neighbor`` vs checkpoint replay on scattered
+    multi-chunk neighbors (the LNS relaxation shape)."""
+    base = list(range(instance.n_indexes))
+    random.Random(0).shuffle(base)
+    engine = EvalEngine(instance)
+    engine.set_base(base)
+    cached = PrefixCachedEvaluator(instance)
+    cached.set_base(base)
+    engine_time = cached_time = 0.0
+    slice_n = max(1, len(orders) // 8)
+    for _ in range(rounds):
+        for start in range(0, len(orders), slice_n):
+            chunk = orders[start : start + slice_n]
+            t0 = time.perf_counter()
+            for order in chunk:
+                engine.evaluate_neighbor(order)
+            engine_time += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            for order in chunk:
+                cached.evaluate(order)
+            cached_time += time.perf_counter() - t0
+    for order in orders[:25]:
+        assert engine.evaluate_neighbor(order) == pytest.approx(
+            cached.evaluate(order), rel=1e-9
+        )
+    return {
+        "engine_seconds": engine_time,
+        "prefix_cached_seconds": cached_time,
+        "speedup": cached_time / engine_time if engine_time else float("inf"),
+        "moves": len(orders) * rounds,
+        "replayed_steps": engine.stats.replayed_steps,
+        "baseline_steps": engine.stats.baseline_steps,
+    }
+
+
+def _scattered_orders(n: int, count: int, seed: int = 1):
+    """Neighbors differing from the identity base in 3 distant spots."""
+    rng = random.Random(seed)
+    base = list(range(n))
+    random.Random(0).shuffle(base)
+    orders = []
+    for _ in range(count):
+        order = base[:]
+        for pos in sorted(rng.sample(range(n - 1), 3)):
+            order[pos], order[pos + 1] = order[pos + 1], order[pos]
+        orders.append(order)
+    return orders
+
+
 def test_engine_beats_prefix_cached_on_tabu_scan(benchmark):
     instance = tpch_instance()
     n = instance.n_indexes
     scan = [(a, b) for a in range(n - 1) for b in range(a + 1, n)]
     rng = random.Random(1)
     randoms = [(rng.randrange(n), rng.randrange(n)) for _ in range(2000)]
+    scattered = _scattered_orders(n, 400)
 
     def run():
         return {
-            "scan": _interleaved_ratio(instance, scan, rounds=8),
-            "random": _interleaved_ratio(instance, randoms, rounds=3),
+            "scan": _interleaved_ratio(instance, scan, rounds=_smoke_rounds(8)),
+            "random": _interleaved_ratio(
+                instance, randoms, rounds=_smoke_rounds(3)
+            ),
+            "scattered": _interleaved_scattered_ratio(
+                instance, scattered, rounds=_smoke_rounds(3)
+            ),
         }
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -92,11 +168,92 @@ def test_engine_beats_prefix_cached_on_tabu_scan(benchmark):
     RESULTS_PATH.write_text(json.dumps(results, indent=1) + "\n")
     # The engine must replay fewer steps on the scan pattern it was
     # built for (deterministic), and finish faster.  Wall-clock floors
-    # are conservative vs the measured ~2.3x / ~1.3x, and skipped on
-    # shared CI runners where scheduler jitter can distort even an
-    # interleaved ratio.
+    # are conservative vs the measured ~2.3x / ~1.3x / ~2.2x, and
+    # skipped on shared CI runners where scheduler jitter can distort
+    # even an interleaved ratio.
     scan_stats = results["scan"]
     assert scan_stats["replayed_steps"] < scan_stats["baseline_steps"]
+    scattered_stats = results["scattered"]
+    assert scattered_stats["replayed_steps"] < scattered_stats["baseline_steps"]
     if os.environ.get("GITHUB_ACTIONS") != "true":
         assert scan_stats["speedup"] >= 1.3, scan_stats
         assert results["random"]["speedup"] >= 0.9, results["random"]
+        assert scattered_stats["speedup"] >= 1.2, scattered_stats
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy kernel unavailable")
+def test_numpy_batch_beats_scalar_on_tabu_scan(benchmark):
+    """Interleaved A/B: numpy ``eval_all_swaps`` vs the scalar delta
+    path on full tabu neighborhood scans, including the per-base
+    precompute the numpy kernel pays on every rebase.
+
+    Runs on a synthetic instance above the ``auto`` kernel threshold
+    (TPC-H's n=32 legitimately stays scalar; TPC-DS takes minutes to
+    build, which would dwarf the measurement).
+    """
+    instance = generate_instance(
+        seed=9,
+        config=GeneratorConfig(
+            n_indexes=96, n_queries=60, build_interaction_rate=1.5
+        ),
+    )
+    n = instance.n_indexes
+    base = list(range(n))
+    random.Random(0).shuffle(base)
+    rounds = _smoke_rounds(8)
+    # One base order per scan round: each round mutates the previous
+    # order, so both kernels pay a genuine rebase + (for numpy) the
+    # per-base precompute before every whole-neighborhood scan.
+    orders = [base]
+    for r in range(rounds - 1):
+        order = orders[-1][:]
+        pos = (5 * r) % (n - 7)
+        order[pos], order[pos + 6] = order[pos + 6], order[pos]
+        orders.append(order)
+
+    scalar = EvalEngine(instance, kernel="scalar")
+    numpy_engine = EvalEngine(instance, kernel="numpy")
+
+    def run():
+        scalar_time = numpy_time = 0.0
+        last = (None, None)
+        for order in orders:
+            t0 = time.perf_counter()
+            numpy_engine.set_base(order)
+            numpy_objectives, _feasible = numpy_engine.eval_all_swaps()
+            numpy_time += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            scalar.set_base(order)
+            scalar_objectives, _ = scalar.eval_all_swaps()
+            scalar_time += time.perf_counter() - t0
+            last = (numpy_objectives, scalar_objectives)
+        # Parity spot-check so the ratio cannot be won by computing
+        # the wrong thing fast.
+        numpy_objectives, scalar_objectives = last
+        for pos_a in range(0, n - 1, 7):
+            for pos_b in range(pos_a + 1, n, 5):
+                assert numpy_objectives[pos_a][pos_b] == pytest.approx(
+                    scalar_objectives[pos_a][pos_b], rel=1e-9
+                )
+        stats = numpy_engine.stats
+        return {
+            "instance": {"kind": "synthetic", "n_indexes": n, "seed": 9},
+            "scans": rounds,
+            "moves_per_scan": n * (n - 1) // 2,
+            "scalar_seconds": scalar_time,
+            "numpy_seconds": numpy_time,
+            "speedup": (
+                scalar_time / numpy_time if numpy_time else float("inf")
+            ),
+            "batch_evals": stats.batch_evals,
+            "batch_moves": stats.batch_moves,
+            "batch_numpy": stats.batch_numpy,
+            "batch_numba": stats.batch_numba,
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    BATCH_RESULTS_PATH.parent.mkdir(exist_ok=True)
+    BATCH_RESULTS_PATH.write_text(json.dumps(results, indent=1) + "\n")
+    assert results["batch_numpy"] == rounds
+    if os.environ.get("GITHUB_ACTIONS") != "true":
+        assert results["speedup"] >= 3.0, results

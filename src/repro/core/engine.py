@@ -59,6 +59,16 @@ __all__ = [
 #: the same move sequence, so the harness can report the delta saving.
 _BASELINE_STRIDE = 16
 
+#: A move whose cursor re-alignment distance exceeds this is a "far
+#: jump": random-pattern moves pay more for re-aligning the shared
+#: cursor than for the window itself.  After a couple of far jumps on
+#: the same base the engine snapshots the base trajectory once and
+#: serves far windows directly from the snapshot, no re-alignment.
+_SNAPSHOT_STRIDE = 16
+
+#: Far jumps tolerated on one base before the snapshot table is built.
+_SNAPSHOT_AFTER = 2
+
 BuiltSet = Union[int, Iterable[int]]
 
 
@@ -86,6 +96,12 @@ class EngineStats:
         memo_misses: Built-set runtime memo misses.
         tt_states: Distinct built-sets recorded by transposition tables.
         tt_prunes: Search nodes pruned as transposition-dominated.
+        batch_evals: Whole-neighborhood scans answered through
+            ``eval_all_swaps`` / ``eval_all_inserts`` (any kernel).
+        batch_moves: Moves scored inside vectorized batch scans (the
+            scalar kernel's moves count as ``delta_evals`` instead).
+        batch_numpy: Batch scans executed by the numpy kernel.
+        batch_numba: Batch scans executed by the numba kernel.
     """
 
     full_evals: int = 0
@@ -98,11 +114,20 @@ class EngineStats:
     memo_misses: int = 0
     tt_states: int = 0
     tt_prunes: int = 0
+    batch_evals: int = 0
+    batch_moves: int = 0
+    batch_numpy: int = 0
+    batch_numba: int = 0
 
     @property
     def evaluations(self) -> int:
         """Total objective evaluations of any kind."""
-        return self.full_evals + self.delta_evals + self.prefix_evals
+        return (
+            self.full_evals
+            + self.delta_evals
+            + self.prefix_evals
+            + self.batch_moves
+        )
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view for experiment notes and logs."""
@@ -117,6 +142,10 @@ class EngineStats:
             "memo_misses": self.memo_misses,
             "tt_states": self.tt_states,
             "tt_prunes": self.tt_prunes,
+            "batch_evals": self.batch_evals,
+            "batch_moves": self.batch_moves,
+            "batch_numpy": self.batch_numpy,
+            "batch_numba": self.batch_numba,
         }
 
     def reset(self) -> None:
@@ -253,11 +282,24 @@ class TranspositionTable:
 
 
 class EvalEngine:
-    """One evaluation backend shared by every solver over one instance."""
+    """One evaluation backend shared by every solver over one instance.
 
-    def __init__(self, instance: ProblemInstance) -> None:
+    ``kernel`` selects how whole-neighborhood scans are computed:
+    ``"scalar"`` (loop of delta evaluations), ``"numpy"`` (the
+    vectorized kernels in :mod:`repro.core.batch`), ``"numba"`` (jitted
+    per-pair replay; silently degrades to numpy when numba is missing),
+    or ``"auto"`` (numpy above ``batch.NUMPY_MIN_N`` indexes, scalar
+    below).  The default reads the ``REPRO_KERNEL`` environment
+    variable, falling back to ``"auto"``.  Single-move methods
+    (``eval_swap`` etc.) always use the scalar delta path.
+    """
+
+    def __init__(
+        self, instance: ProblemInstance, kernel: Optional[str] = None
+    ) -> None:
         self.instance = instance
         self.n = instance.n_indexes
+        self.kernel = kernel
         # Flattened instance arrays — the one copy every consumer shares.
         self.plan_query = [p.query_id for p in instance.plans]
         self.plan_speedup = [p.speedup for p in instance.plans]
@@ -282,6 +324,15 @@ class EvalEngine:
         self._path_cursor: Optional[PrefixCursor] = None
         # Bound-provider data, built on first use.
         self._bound_ready = False
+        # Batch-kernel state: the flattened arrays persist across bases,
+        # the per-base neighborhood cache is invalidated by set_base.
+        self._flat = None
+        self._batch_neigh = None
+        self._base_gen = 0
+        self._batch_gen = -1
+        # Base-trajectory snapshots for far-jump moves (lazy, per base).
+        self._snapshots: Optional[List[tuple]] = None
+        self._far_jumps = 0
 
     # ------------------------------------------------------------------
     # Full evaluation
@@ -386,6 +437,9 @@ class EvalEngine:
         prefix.append(cursor.objective)
         self._base_obj_prefix = prefix
         self.stats.full_evals += 1
+        self._base_gen += 1
+        self._snapshots = None
+        self._far_jumps = 0
         return prefix[-1]
 
     def eval_swap(self, pos_a: int, pos_b: int) -> float:
@@ -428,7 +482,17 @@ class EvalEngine:
         return self.eval_relocate(src, dst)
 
     def evaluate_neighbor(self, order: Sequence[int]) -> float:
-        """Objective of any permutation, replaying only its divergence window."""
+        """Objective of any permutation, replaying only its true divergence.
+
+        The divergence window ``[first, last]`` (shared prefix *and*
+        suffix trimmed) is further decomposed into *balanced chunks*: at
+        any position inside the window where the multiset of deployed
+        indexes so far equals the base's, the deployment state is
+        exactly the base state, so the base-identical stretch that
+        follows contributes its precomputed base area without replay.
+        A scattered neighbor (the LNS relaxation shape) then replays
+        only its changed runs, not the gaps between them.
+        """
         base = self._require_base()
         n = self.n
         if len(order) != n:
@@ -447,7 +511,177 @@ class EvalEngine:
             raise ValidationError(
                 "order is not a permutation of the base order"
             )
-        return self._eval_window(first, last, window)
+        # Balanced-chunk decomposition of the divergence window.
+        chunks: List[Tuple[int, int]] = []
+        imbalance: Dict[int, int] = {}
+        open_start = -1
+        for k in range(first, last + 1):
+            placed, expected = order[k], base[k]
+            if placed == expected and not imbalance:
+                continue  # base-identical gap between chunks
+            if open_start < 0:
+                open_start = k
+            if placed != expected:
+                for moved, delta in ((placed, 1), (expected, -1)):
+                    count = imbalance.get(moved, 0) + delta
+                    if count:
+                        imbalance[moved] = count
+                    else:
+                        imbalance.pop(moved, None)
+            if not imbalance:
+                chunks.append((open_start, k))
+                open_start = -1
+        if len(chunks) <= 1:
+            return self._eval_window(first, last, window)
+        if self._snapshots is None:
+            self._far_jumps += 1
+            if self._far_jumps > _SNAPSHOT_AFTER:
+                self._build_snapshots()
+        if self._snapshots is None:
+            # Not yet worth snapshotting: one contiguous replay.
+            return self._eval_window(first, last, window)
+        prefix = self._base_obj_prefix
+        objective = prefix[n]
+        replayed = 0
+        for chunk_first, chunk_last in chunks:
+            chunk_window = list(order[chunk_first : chunk_last + 1])
+            chunk_objective = self._replay_from_snapshot(
+                chunk_first, chunk_window
+            )
+            objective += chunk_objective - prefix[chunk_last + 1]
+            replayed += len(chunk_window)
+        stats = self.stats
+        stats.delta_evals += 1
+        stats.replayed_steps += replayed
+        checkpoint = (first // _BASELINE_STRIDE) * _BASELINE_STRIDE
+        stats.baseline_steps += n - checkpoint
+        return objective
+
+    # ------------------------------------------------------------------
+    # Batch neighborhood evaluation
+    # ------------------------------------------------------------------
+    def batch_kernel(self) -> str:
+        """The kernel ``eval_all_*`` will actually run on this instance."""
+        from repro.core import batch
+
+        return batch.resolve_kernel(self.kernel, self.n)
+
+    def _batch_neighborhood(self):
+        from repro.core import batch
+
+        if self._flat is None:
+            self._flat = batch.FlatInstance(self.instance)
+        if self._batch_neigh is None or self._batch_gen != self._base_gen:
+            self._batch_neigh = batch.BatchNeighborhood(self._flat, self._base)
+            self._batch_gen = self._base_gen
+        return self._batch_neigh
+
+    def eval_all_swaps(self, constraints=None):
+        """Score every pairwise swap of the base order in one pass.
+
+        Returns ``(objectives, feasible)``: an ``(n, n)`` symmetric
+        matrix of swapped-order objectives (diagonal = base objective)
+        and a matching boolean feasibility mask.  With the scalar
+        kernel, infeasible cells are left at ``+inf`` (they are never
+        scored); vector kernels score every cell and leave masking to
+        the caller.  Requires :meth:`set_base`.
+        """
+        from repro.core import batch
+        from repro.solvers.localsearch.neighborhood import swap_feasible
+
+        base = self._require_base()
+        n = self.n
+        kernel = self.batch_kernel()
+        self.stats.batch_evals += 1
+        if kernel == "scalar":
+            if batch.HAVE_NUMPY:
+                import numpy as np
+
+                objectives = np.full((n, n), float("inf"))
+                np.fill_diagonal(objectives, self.base_objective)
+                feasible = batch.swap_feasibility_mask(
+                    base, constraints, swap_feasible
+                )
+            else:  # pragma: no cover - numpy present in CI
+                objectives = [
+                    [float("inf")] * n for _ in range(n)
+                ]
+                for k in range(n):
+                    objectives[k][k] = self.base_objective
+                feasible = [
+                    [
+                        swap_feasible(base, a, b, constraints)
+                        for b in range(n)
+                    ]
+                    for a in range(n)
+                ]
+            for pos_a in range(n - 1):
+                for pos_b in range(pos_a + 1, n):
+                    if feasible[pos_a][pos_b]:
+                        value = self.eval_swap(pos_a, pos_b)
+                        objectives[pos_a][pos_b] = value
+                        objectives[pos_b][pos_a] = value
+            return objectives, feasible
+        neigh = self._batch_neighborhood()
+        if kernel == "numba":
+            objectives = batch.numba_swap_neighborhood(self._flat, neigh)
+            self.stats.batch_numba += 1
+        else:
+            objectives = neigh.score_swap_neighborhood()
+            self.stats.batch_numpy += 1
+        feasible = batch.swap_feasibility_mask(base, constraints, swap_feasible)
+        self.stats.batch_moves += n * (n - 1) // 2
+        return objectives, feasible
+
+    def eval_all_inserts(self, index_id: int, constraints=None):
+        """Score relocating ``index_id`` to every position in one pass.
+
+        Returns ``(objectives, feasible)`` vectors of length ``n``
+        (entry ``dst`` = objective of the base order with ``index_id``
+        moved to position ``dst``).  Scalar-kernel infeasible cells are
+        ``+inf``.  Requires :meth:`set_base`.
+        """
+        from repro.core import batch
+        from repro.solvers.localsearch.neighborhood import relocate_feasible
+
+        base = self._require_base()
+        n = self.n
+        try:
+            src = self._base_pos[index_id]
+        except KeyError:
+            raise ValidationError(
+                f"index {index_id} is not in the base order"
+            ) from None
+        kernel = self.batch_kernel()
+        self.stats.batch_evals += 1
+        if kernel == "scalar":
+            if batch.HAVE_NUMPY:
+                import numpy as np
+
+                objectives = np.full(n, float("inf"))
+                feasible = batch.relocate_feasibility_mask(
+                    base, src, constraints, relocate_feasible
+                )
+            else:  # pragma: no cover - numpy present in CI
+                objectives = [float("inf")] * n
+                feasible = [
+                    relocate_feasible(base, src, dst, constraints)
+                    for dst in range(n)
+                ]
+            for dst in range(n):
+                if feasible[dst]:
+                    objectives[dst] = self.eval_relocate(src, dst)
+            return objectives, feasible
+        neigh = self._batch_neighborhood()
+        # No jitted insert kernel: the numpy one is already a handful of
+        # vector ops per call, so "numba" serves inserts through numpy.
+        objectives = neigh.score_insert_neighborhood(index_id)
+        self.stats.batch_numpy += 1
+        feasible = batch.relocate_feasibility_mask(
+            base, src, constraints, relocate_feasible
+        )
+        self.stats.batch_moves += n
+        return objectives, feasible
 
     def _require_base(self) -> Tuple[int, ...]:
         if self._base is None:
@@ -460,6 +694,71 @@ class EvalEngine:
                 f"position must be in 0..{self.n - 1}, got {position}"
             )
 
+    def _build_snapshots(self) -> None:
+        """Record the base deployment state entering every position.
+
+        One extra base replay plus O(n * (plans + queries)) copies, paid
+        once per base and only after repeated far jumps; afterwards any
+        window replay starts at its exact position with zero cursor
+        re-alignment.
+        """
+        base = self._base
+        missing = self.plan_size[:]
+        qbest = [0.0] * self.instance.n_queries
+        built = bytearray(self.n)
+        runtime = self.base_runtime
+        snapshots: List[tuple] = []
+        for index_id in base:
+            snapshots.append((missing[:], qbest[:], bytes(built), runtime))
+            best_saving = 0.0
+            for helper, saving in self.helpers[index_id]:
+                if built[helper] and saving > best_saving:
+                    best_saving = saving
+            built[index_id] = 1
+            for plan_id in self.plans_of_index[index_id]:
+                missing[plan_id] -= 1
+                if missing[plan_id] == 0:
+                    query_id = self.plan_query[plan_id]
+                    speedup = self.plan_speedup[plan_id]
+                    if speedup > qbest[query_id]:
+                        runtime -= (speedup - qbest[query_id]) * self.qweight[
+                            query_id
+                        ]
+                        qbest[query_id] = speedup
+        self._snapshots = snapshots
+
+    def _replay_from_snapshot(self, first: int, window: List[int]) -> float:
+        """Objective after replaying ``window`` from the ``first`` snapshot."""
+        missing, qbest, built_bytes, runtime = self._snapshots[first]
+        missing = missing[:]
+        qbest = qbest[:]
+        built = bytearray(built_bytes)
+        objective = self._base_obj_prefix[first]
+        plan_query = self.plan_query
+        plan_speedup = self.plan_speedup
+        plans_of_index = self.plans_of_index
+        helpers = self.helpers
+        ctime = self.ctime
+        qweight = self.qweight
+        for index_id in window:
+            best_saving = 0.0
+            for helper, saving in helpers[index_id]:
+                if built[helper] and saving > best_saving:
+                    best_saving = saving
+            objective += runtime * (ctime[index_id] - best_saving)
+            built[index_id] = 1
+            for plan_id in plans_of_index[index_id]:
+                missing[plan_id] -= 1
+                if missing[plan_id] == 0:
+                    query_id = plan_query[plan_id]
+                    speedup = plan_speedup[plan_id]
+                    if speedup > qbest[query_id]:
+                        runtime -= (speedup - qbest[query_id]) * qweight[
+                            query_id
+                        ]
+                        qbest[query_id] = speedup
+        return objective
+
     def _eval_window(self, first: int, last: int, window: List[int]) -> float:
         """Replay ``window`` over base positions ``first..last`` inclusive.
 
@@ -471,11 +770,32 @@ class EvalEngine:
         The base cursor is aligned (amortized: a scan of moves sharing a
         prefix re-aligns by single steps) and the window itself replays
         on throwaway scratch state, so a move evaluation allocates no
-        undo records and never pops back.
+        undo records and never pops back.  Moves far from the cursor
+        (random-pattern probes) instead start from a per-position base
+        snapshot, built lazily after :data:`_SNAPSHOT_AFTER` far jumps,
+        skipping the re-alignment entirely.
         """
         base = self._base
         cursor = self._base_cursor
         replayed = 0
+        distance = (
+            cursor.depth - first if cursor.depth > first else first - cursor.depth
+        )
+        if distance > _SNAPSHOT_STRIDE and self._snapshots is None:
+            self._far_jumps += 1
+            if self._far_jumps > _SNAPSHOT_AFTER:
+                self._build_snapshots()
+        if distance > _SNAPSHOT_STRIDE and self._snapshots is not None:
+            objective = self._replay_from_snapshot(first, window)
+            objective += (
+                self._base_obj_prefix[self.n] - self._base_obj_prefix[last + 1]
+            )
+            stats = self.stats
+            stats.delta_evals += 1
+            stats.replayed_steps += len(window)
+            checkpoint = (first // _BASELINE_STRIDE) * _BASELINE_STRIDE
+            stats.baseline_steps += self.n - checkpoint
+            return objective
         while cursor.depth > first:
             cursor.pop()
         while cursor.depth < first:

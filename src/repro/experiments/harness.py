@@ -55,6 +55,17 @@ def engine_stats_note(label: str, stats: Optional[Dict[str, int]]) -> Optional[s
     if not stats:
         return None
     parts = [f"engine[{label}]:"]
+    if stats.get("batch_evals"):
+        kernels = []
+        if stats.get("batch_numba"):
+            kernels.append(f"numba x{stats['batch_numba']}")
+        if stats.get("batch_numpy"):
+            kernels.append(f"numpy x{stats['batch_numpy']}")
+        kernel_note = ", ".join(kernels) if kernels else "scalar"
+        parts.append(
+            f"{stats['batch_evals']} batch scans "
+            f"({stats.get('batch_moves', 0)} moves, {kernel_note})"
+        )
     if stats.get("delta_evals"):
         saved = stats["baseline_steps"] - stats["replayed_steps"]
         pct = (

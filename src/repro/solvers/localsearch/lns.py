@@ -20,6 +20,7 @@ from repro.core.solution import Solution, SolveResult, SolveStatus
 from repro.solvers.base import Budget, Solver
 from repro.solvers.cp.search import CPModel, CPSearch
 from repro.solvers.greedy import greedy_order
+from repro.solvers.localsearch.neighborhood import batch_swap_descent
 from repro.solvers.registry import register
 
 __all__ = ["LNSSolver", "relax_step"]
@@ -128,8 +129,14 @@ class LNSSolver(Solver):
                 budget,
             )
             if improved_order is not None and improved_objective < current - 1e-12:
-                order = improved_order
-                current = improved_objective
+                # Polish the new incumbent with a batch swap descent.
+                order, current = batch_swap_descent(
+                    model.engine,
+                    improved_order,
+                    constraints,
+                    budget,
+                    improved_objective,
+                )
                 trace.append((time.perf_counter() - start, current))
         elapsed = time.perf_counter() - start
         self.last_engine_stats = model.engine.stats.as_dict()

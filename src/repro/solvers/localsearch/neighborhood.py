@@ -2,11 +2,18 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.constraints import ConstraintSet
+from repro.solvers.base import Budget
 
-__all__ = ["swap_feasible", "apply_swap"]
+__all__ = [
+    "swap_feasible",
+    "apply_swap",
+    "relocate_feasible",
+    "apply_relocate",
+    "batch_swap_descent",
+]
 
 
 def swap_feasible(
@@ -89,3 +96,64 @@ def apply_swap(order: Sequence[int], pos_a: int, pos_b: int) -> List[int]:
     swapped = list(order)
     swapped[pos_a], swapped[pos_b] = swapped[pos_b], swapped[pos_a]
     return swapped
+
+
+def apply_relocate(order: Sequence[int], src: int, dst: int) -> List[int]:
+    """Return a copy of ``order`` with ``order[src]`` moved to ``dst``."""
+    moved = list(order)
+    moved.insert(dst, moved.pop(src))
+    return moved
+
+
+def relocate_feasible(
+    order: Sequence[int],
+    src: int,
+    dst: int,
+    constraints: Optional[ConstraintSet],
+) -> bool:
+    """Check whether relocating ``order[src]`` to ``dst`` stays feasible.
+
+    Relocation shifts every element between ``src`` and ``dst``, so
+    unlike :func:`swap_feasible` there is no cheap local window for the
+    consecutive pairs — the relocated order is checked directly.
+    """
+    if constraints is None or src == dst:
+        return True
+    return constraints.check_order(apply_relocate(order, src, dst))
+
+
+def batch_swap_descent(
+    engine,
+    order: List[int],
+    constraints: Optional[ConstraintSet],
+    budget: Budget,
+    current: float,
+) -> Tuple[List[int], float]:
+    """Best-improvement swap descent driven by the batch neighborhood API.
+
+    Repeatedly scores the *entire* swap neighborhood with
+    ``engine.eval_all_swaps`` (one kernel call per pass instead of
+    O(n^2) delta evaluations), applies the best improving feasible
+    swap, and stops at a local minimum or budget exhaustion.  Returns
+    the (possibly unchanged) improved order and its objective.  The
+    engine's delta base is left on the returned order.
+    """
+    n = len(order)
+    current = engine.set_base(order)
+    while not budget.exhausted:
+        objectives, feasible = engine.eval_all_swaps(constraints)
+        best_pair = None
+        best_value = current - 1e-12
+        for pos_a in range(n - 1):
+            row_obj = objectives[pos_a]
+            row_ok = feasible[pos_a]
+            for pos_b in range(pos_a + 1, n):
+                if row_ok[pos_b] and row_obj[pos_b] < best_value:
+                    best_value = row_obj[pos_b]
+                    best_pair = (pos_a, pos_b)
+        budget.tick(n * (n - 1) // 2)
+        if best_pair is None:
+            break
+        order = apply_swap(order, best_pair[0], best_pair[1])
+        current = engine.set_base(order)
+    return order, current

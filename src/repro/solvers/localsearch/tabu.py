@@ -130,6 +130,20 @@ class TabuSolver(Solver):
         constraints: Optional[ConstraintSet],
         budget: Budget,
     ) -> Optional[Tuple[int, int, float]]:
+        if engine.batch_kernel() != "scalar":
+            return self._pick_move_batch(
+                order,
+                engine,
+                current,
+                best_objective,
+                tabu_until,
+                iteration,
+                constraints,
+                budget,
+            )
+        # Scalar kernel: the incremental loop keeps FSwap's early exit
+        # (a batch scan would score all O(n^2) pairs before returning
+        # the first improving one) and ticks the budget per candidate.
         n = len(order)
         best_move: Optional[Tuple[int, int, float]] = None
         for pos_a in range(n - 1):
@@ -152,6 +166,44 @@ class TabuSolver(Solver):
                 if best_move is None or objective < best_move[2] - 1e-12:
                     best_move = (pos_a, pos_b, objective)
         return best_move
+
+    def _pick_move_batch(
+        self,
+        order: List[int],
+        engine: EvalEngine,
+        current: float,
+        best_objective: float,
+        tabu_until: Dict[int, int],
+        iteration: int,
+        constraints: Optional[ConstraintSet],
+        budget: Budget,
+    ) -> Optional[Tuple[int, int, float]]:
+        """One kernel call scores the whole scan; only the chosen move
+        is ever materialized as an order (no per-candidate lists)."""
+        import numpy as np
+
+        n = len(order)
+        objectives, feasible = engine.eval_all_swaps(constraints)
+        tabu = np.array(
+            [tabu_until.get(ix, 0) >= iteration for ix in order], dtype=bool
+        )
+        upper = np.triu(np.ones((n, n), dtype=bool), 1)
+        allowed = np.asarray(feasible) & upper
+        budget.tick(int(allowed.sum()))
+        # Aspiration: tabu moves pass only on a global improvement.
+        tabu_pair = tabu[:, None] | tabu[None, :]
+        allowed &= ~tabu_pair | (objectives < best_objective - 1e-12)
+        if not allowed.any():
+            return None
+        if self.variant == "first":
+            improving = allowed & (objectives < current - 1e-12)
+            if improving.any():
+                pos_a, pos_b = np.argwhere(improving)[0]
+                return (int(pos_a), int(pos_b), float(objectives[pos_a, pos_b]))
+        masked = np.where(allowed, objectives, np.inf)
+        flat_best = int(np.argmin(masked))
+        pos_a, pos_b = divmod(flat_best, n)
+        return (pos_a, pos_b, float(objectives[pos_a, pos_b]))
 
 
 register_factory(

@@ -25,6 +25,7 @@ from repro.solvers.base import Budget, Solver
 from repro.solvers.cp.search import CPModel
 from repro.solvers.greedy import greedy_order
 from repro.solvers.localsearch.lns import relax_step
+from repro.solvers.localsearch.neighborhood import batch_swap_descent
 from repro.solvers.registry import register
 
 __all__ = ["VNSSolver"]
@@ -109,8 +110,15 @@ class VNSSolver(Solver):
                 improved_order is not None
                 and improved_objective < current - 1e-12
             ):
-                order = improved_order
-                current = improved_objective
+                # Polish the new incumbent with a batch swap descent —
+                # one whole-neighborhood kernel scan per pass.
+                order, current = batch_swap_descent(
+                    model.engine,
+                    improved_order,
+                    constraints,
+                    budget,
+                    improved_objective,
+                )
                 elapsed_now = time.perf_counter() - start
                 trace.append((elapsed_now, current))
                 if self.on_improvement is not None:

@@ -1,0 +1,336 @@
+"""Tests for the vectorized batch neighborhood kernels.
+
+The contract under test: every batch kernel agrees *elementwise* with
+the scalar delta path (``eval_swap`` / ``eval_relocate``), and the
+vectorized feasibility masks agree cell-for-cell with the scalar
+predicates.  Kernel selection degrades gracefully when optional
+dependencies are missing.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.analysis.constraints import ConstraintSet
+from repro.core import batch
+from repro.core.batch import (
+    HAVE_NUMBA,
+    NUMPY_MIN_N,
+    BatchNeighborhood,
+    FlatInstance,
+    relocate_feasibility_mask,
+    resolve_kernel,
+    swap_feasibility_mask,
+)
+from repro.core.engine import EvalEngine
+from repro.solvers.localsearch.neighborhood import (
+    relocate_feasible,
+    swap_feasible,
+)
+from repro.workloads.generator import GeneratorConfig, generate_instance
+
+
+def make_instance(seed: int, n: int = 12, **overrides):
+    config = GeneratorConfig(
+        n_indexes=n,
+        n_queries=max(3, n // 2),
+        multi_index_fraction=0.6,
+        build_interaction_rate=1.5,
+        **overrides,
+    )
+    return generate_instance(seed, config)
+
+
+def shuffled(n: int, seed: int):
+    order = list(range(n))
+    random.Random(seed).shuffle(order)
+    return order
+
+
+def constraints_for(instance, extra_consecutive: bool = False):
+    cons = ConstraintSet(instance.n_indexes)
+    for rule in instance.precedences:
+        cons.add_precedence(rule.before, rule.after)
+    if extra_consecutive and instance.n_indexes >= 4:
+        cons.add_consecutive(0, 1)
+    return cons
+
+
+# ----------------------------------------------------------------------
+# FlatInstance lowering
+# ----------------------------------------------------------------------
+class TestFlatInstance:
+    def test_arrays_mirror_instance(self):
+        instance = make_instance(3, n=10)
+        flat = FlatInstance(instance)
+        assert flat.n == instance.n_indexes
+        assert flat.n_plans == len(instance.plans)
+        for pid, plan in enumerate(instance.plans):
+            assert flat.plan_query[pid] == plan.query_id
+            assert flat.plan_speedup[pid] == plan.speedup
+            assert flat.plan_nmem[pid] == len(plan.indexes)
+            members = set(
+                int(v) for v in flat.plan_members[pid] if v >= 0
+            )
+            assert members == set(plan.indexes)
+        for i in range(flat.n):
+            assert list(flat.plans_of(i)) == list(
+                instance.plans_containing(i)
+            )
+            assert flat.ctime[i] == instance.indexes[i].create_cost
+            for helper, saving in instance.build_helpers(i):
+                assert flat.cs[i, helper] == pytest.approx(saving)
+
+    def test_queries_of_index_covers_plans(self):
+        instance = make_instance(4, n=9)
+        flat = FlatInstance(instance)
+        for i in range(flat.n):
+            expected = {
+                instance.plans[pid].query_id
+                for pid in instance.plans_containing(i)
+            }
+            assert set(flat.queries_of_index[i]) == expected
+
+
+# ----------------------------------------------------------------------
+# Kernel selection
+# ----------------------------------------------------------------------
+class TestKernelSelection:
+    def test_auto_splits_on_instance_size(self):
+        assert resolve_kernel("auto", NUMPY_MIN_N - 1) == "scalar"
+        assert resolve_kernel("auto", NUMPY_MIN_N) == "numpy"
+
+    def test_explicit_kernels_respected(self):
+        assert resolve_kernel("scalar", 500) == "scalar"
+        assert resolve_kernel("numpy", 3) == "numpy"
+
+    def test_numba_degrades_when_missing(self):
+        resolved = resolve_kernel("numba", 100)
+        assert resolved == ("numba" if HAVE_NUMBA else "numpy")
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_kernel("cuda", 10)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        instance = make_instance(0, n=6)
+        assert EvalEngine(instance).batch_kernel() == "numpy"
+
+    def test_engine_arg_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        instance = make_instance(0, n=6)
+        assert EvalEngine(instance, kernel="scalar").batch_kernel() == "scalar"
+
+
+# ----------------------------------------------------------------------
+# Swap kernel parity
+# ----------------------------------------------------------------------
+class TestSwapParity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matrix_matches_scalar_eval_swap(self, seed):
+        n = 5 + (seed % 3) * 4
+        instance = make_instance(seed, n=n)
+        order = shuffled(n, seed)
+        engine = EvalEngine(instance)
+        engine.set_base(order)
+        neigh = BatchNeighborhood(FlatInstance(instance), order)
+        matrix = neigh.score_swap_neighborhood()
+        for a in range(n):
+            for b in range(n):
+                assert matrix[a, b] == pytest.approx(
+                    engine.eval_swap(a, b), rel=1e-9, abs=1e-7
+                )
+
+    def test_diagonal_is_base_objective(self):
+        instance = make_instance(1, n=8)
+        order = shuffled(8, 1)
+        engine = EvalEngine(instance)
+        base = engine.set_base(order)
+        neigh = BatchNeighborhood(FlatInstance(instance), order)
+        matrix = neigh.score_swap_neighborhood()
+        assert np.allclose(np.diag(matrix), base)
+        assert neigh.base_objective == pytest.approx(base)
+
+    def test_matrix_is_symmetric(self):
+        instance = make_instance(2, n=10)
+        neigh = BatchNeighborhood(FlatInstance(instance), shuffled(10, 2))
+        matrix = neigh.score_swap_neighborhood()
+        assert np.allclose(matrix, matrix.T)
+
+
+# ----------------------------------------------------------------------
+# Insert kernel parity
+# ----------------------------------------------------------------------
+class TestInsertParity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_vector_matches_scalar_eval_relocate(self, seed):
+        n = 6 + (seed % 3) * 3
+        instance = make_instance(seed + 50, n=n)
+        order = shuffled(n, seed)
+        engine = EvalEngine(instance)
+        engine.set_base(order)
+        neigh = BatchNeighborhood(FlatInstance(instance), order)
+        for index_id in range(n):
+            src = order.index(index_id)
+            vector = neigh.score_insert_neighborhood(index_id)
+            for dst in range(n):
+                assert vector[dst] == pytest.approx(
+                    engine.eval_relocate(src, dst), rel=1e-9, abs=1e-7
+                )
+
+
+# ----------------------------------------------------------------------
+# Feasibility masks
+# ----------------------------------------------------------------------
+class TestFeasibilityMasks:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_swap_mask_matches_scalar_predicate(self, seed):
+        n = 8 + (seed % 2) * 5
+        instance = make_instance(seed, n=n, precedence_rate=3.0)
+        cons = constraints_for(instance, extra_consecutive=seed % 2 == 0)
+        order = cons.topological_order()
+        mask = swap_feasibility_mask(order, cons, swap_feasible)
+        for a in range(n):
+            for b in range(n):
+                assert bool(mask[a, b]) == swap_feasible(order, a, b, cons)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_relocate_mask_matches_scalar_predicate(self, seed):
+        n = 8 + (seed % 2) * 5
+        instance = make_instance(seed + 20, n=n, precedence_rate=3.0)
+        cons = constraints_for(instance, extra_consecutive=seed % 2 == 0)
+        order = cons.topological_order()
+        for src in range(n):
+            mask = relocate_feasibility_mask(
+                order, src, cons, relocate_feasible
+            )
+            for dst in range(n):
+                assert bool(mask[dst]) == relocate_feasible(
+                    order, src, dst, cons
+                )
+
+    def test_no_constraints_all_feasible(self):
+        mask = swap_feasibility_mask(list(range(7)), None)
+        assert mask.all()
+
+
+# ----------------------------------------------------------------------
+# Engine batch API
+# ----------------------------------------------------------------------
+class TestEngineBatchAPI:
+    def test_kernels_agree_on_feasible_cells(self):
+        instance = make_instance(7, n=11, precedence_rate=2.0)
+        cons = constraints_for(instance)
+        order = cons.topological_order()
+        results = {}
+        for kernel in ("scalar", "numpy"):
+            engine = EvalEngine(instance, kernel=kernel)
+            engine.set_base(order)
+            results[kernel] = engine.eval_all_swaps(cons)
+        obj_s, feas_s = results["scalar"]
+        obj_v, feas_v = results["numpy"]
+        assert np.array_equal(np.asarray(feas_s), np.asarray(feas_v))
+        n = instance.n_indexes
+        for a in range(n):
+            for b in range(n):
+                if feas_s[a][b]:
+                    assert obj_s[a][b] == pytest.approx(
+                        obj_v[a][b], rel=1e-9, abs=1e-7
+                    )
+
+    def test_insert_kernels_agree_on_feasible_cells(self):
+        instance = make_instance(8, n=10, precedence_rate=2.0)
+        cons = constraints_for(instance)
+        order = cons.topological_order()
+        index_id = order[3]
+        results = {}
+        for kernel in ("scalar", "numpy"):
+            engine = EvalEngine(instance, kernel=kernel)
+            engine.set_base(order)
+            results[kernel] = engine.eval_all_inserts(index_id, cons)
+        obj_s, feas_s = results["scalar"]
+        obj_v, feas_v = results["numpy"]
+        assert np.array_equal(np.asarray(feas_s), np.asarray(feas_v))
+        for dst in range(instance.n_indexes):
+            if feas_s[dst]:
+                assert obj_s[dst] == pytest.approx(
+                    obj_v[dst], rel=1e-9, abs=1e-7
+                )
+
+    def test_stats_count_batch_work(self):
+        instance = make_instance(9, n=9)
+        n = instance.n_indexes
+        engine = EvalEngine(instance, kernel="numpy")
+        engine.set_base(shuffled(n, 9))
+        engine.eval_all_swaps()
+        engine.eval_all_inserts(0)
+        stats = engine.stats
+        assert stats.batch_evals == 2
+        assert stats.batch_numpy == 2
+        assert stats.batch_moves == n * (n - 1) // 2 + n
+        assert stats.evaluations >= stats.batch_moves
+        as_dict = stats.as_dict()
+        for key in ("batch_evals", "batch_moves", "batch_numpy", "batch_numba"):
+            assert isinstance(as_dict[key], int)
+
+    def test_scalar_kernel_counts_delta_evals_instead(self):
+        instance = make_instance(10, n=8)
+        engine = EvalEngine(instance, kernel="scalar")
+        engine.set_base(shuffled(8, 10))
+        engine.eval_all_swaps()
+        assert engine.stats.batch_evals == 1
+        assert engine.stats.batch_moves == 0
+        assert engine.stats.delta_evals == 8 * 7 // 2
+
+    def test_batch_cache_invalidated_on_rebase(self):
+        instance = make_instance(11, n=9)
+        engine = EvalEngine(instance, kernel="numpy")
+        order_a = shuffled(9, 1)
+        order_b = shuffled(9, 2)
+        engine.set_base(order_a)
+        matrix_a, _ = engine.eval_all_swaps()
+        engine.set_base(order_b)
+        matrix_b, _ = engine.eval_all_swaps()
+        check = EvalEngine(instance)
+        check.set_base(order_b)
+        assert matrix_b[0, 1] == pytest.approx(
+            check.eval_swap(0, 1), rel=1e-9
+        )
+        # and the first matrix still belongs to the first base
+        check.set_base(order_a)
+        assert matrix_a[0, 1] == pytest.approx(
+            check.eval_swap(0, 1), rel=1e-9
+        )
+
+
+# ----------------------------------------------------------------------
+# Optional numba kernel
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+class TestNumbaParity:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_numba_matches_numpy(self, seed):
+        n = 10
+        instance = make_instance(seed + 70, n=n)
+        order = shuffled(n, seed)
+        flat = FlatInstance(instance)
+        neigh = BatchNeighborhood(flat, order)
+        numpy_matrix = neigh.score_swap_neighborhood()
+        numba_matrix = batch.numba_swap_neighborhood(flat, neigh)
+        assert np.allclose(numpy_matrix, numba_matrix, rtol=1e-9, atol=1e-7)
+
+
+class TestNumbaFallback:
+    def test_numba_request_still_works_without_numba(self):
+        instance = make_instance(12, n=9)
+        engine = EvalEngine(instance, kernel="numba")
+        engine.set_base(shuffled(9, 12))
+        matrix, _ = engine.eval_all_swaps()
+        check = EvalEngine(instance)
+        check.set_base(engine.base_order)
+        assert matrix[2, 5] == pytest.approx(check.eval_swap(2, 5), rel=1e-9)

@@ -212,6 +212,86 @@ class TestPrefixCursor:
         assert cursor.depth == 2
 
 
+class TestChunkedNeighbor:
+    """Balanced-chunk decomposition and base snapshots in
+    :meth:`EvalEngine.evaluate_neighbor` (the scattered-neighbor path
+    LNS relaxations produce)."""
+
+    @pytest.fixture
+    def big_instance(self):
+        return small_synthetic(seed=23, n=48, build_interaction_rate=1.5)
+
+    @staticmethod
+    def _scattered(base, rng, pairs=3, min_gap=18):
+        """A permutation differing from ``base`` in a few distant spots."""
+        order = base[:]
+        n = len(order)
+        positions = sorted(rng.sample(range(n - 1), pairs))
+        for pos in positions:
+            order[pos], order[pos + 1] = order[pos + 1], order[pos]
+        del min_gap  # sampling over n=48 spreads pairs widely enough
+        return order
+
+    def test_scattered_neighbor_parity(self, big_instance):
+        reference = ObjectiveEvaluator(big_instance)
+        engine = EvalEngine(big_instance)
+        rng = random.Random(7)
+        base = list(range(big_instance.n_indexes))
+        rng.shuffle(base)
+        engine.set_base(base)
+        # Enough far jumps to cross the lazy-snapshot threshold, so the
+        # loop covers the contiguous fallback *and* the snapshot path.
+        for _ in range(12):
+            order = self._scattered(base, rng)
+            assert engine.evaluate_neighbor(order) == pytest.approx(
+                reference.evaluate(order), rel=1e-9
+            )
+        assert engine._snapshots is not None
+
+    def test_snapshots_build_lazily(self, big_instance):
+        engine = EvalEngine(big_instance)
+        rng = random.Random(11)
+        base = list(range(big_instance.n_indexes))
+        engine.set_base(base)
+        assert engine._snapshots is None
+        # A single far jump does not pay the snapshot build cost...
+        engine.evaluate_neighbor(self._scattered(base, rng))
+        assert engine._snapshots is None
+        # ...but a repeated far-jump pattern does.
+        builds_at = None
+        for attempt in range(2, 9):
+            engine.evaluate_neighbor(self._scattered(base, rng))
+            if engine._snapshots is not None:
+                builds_at = attempt
+                break
+        assert builds_at is not None
+
+    def test_rebase_invalidates_snapshots(self, big_instance):
+        engine = EvalEngine(big_instance)
+        rng = random.Random(13)
+        base = list(range(big_instance.n_indexes))
+        engine.set_base(base)
+        for _ in range(6):
+            engine.evaluate_neighbor(self._scattered(base, rng))
+        assert engine._snapshots is not None
+        moved = base[:]
+        moved[-1], moved[-2] = moved[-2], moved[-1]
+        engine.set_base(moved)
+        assert engine._snapshots is None
+        assert engine._far_jumps == 0
+
+    def test_chunked_eval_still_counts_stats(self, big_instance):
+        engine = EvalEngine(big_instance)
+        rng = random.Random(17)
+        base = list(range(big_instance.n_indexes))
+        engine.set_base(base)
+        for _ in range(8):
+            engine.evaluate_neighbor(self._scattered(base, rng))
+        stats = engine.stats
+        assert stats.delta_evals == 8
+        assert 0 < stats.replayed_steps < stats.baseline_steps
+
+
 class TestStats:
     def test_evaluations_aggregate(self, instance, engine):
         base = list(range(instance.n_indexes))
@@ -234,6 +314,25 @@ class TestStats:
         engine.evaluate(list(range(instance.n_indexes)))
         engine.stats.reset()
         assert engine.stats.evaluations == 0
+
+    def test_batch_counters_in_dict_and_reset(self, instance):
+        engine = EvalEngine(instance, kernel="scalar")
+        engine.set_base(list(range(instance.n_indexes)))
+        engine.eval_all_swaps()
+        stats = engine.stats
+        assert stats.batch_evals == 1
+        # The scalar kernel scores moves through eval_swap, so they are
+        # counted as delta evals rather than vectorized batch moves.
+        assert stats.batch_moves == 0
+        assert set(stats.as_dict()) >= {
+            "batch_evals",
+            "batch_moves",
+            "batch_numpy",
+            "batch_numba",
+        }
+        stats.reset()
+        assert stats.batch_evals == 0
+        assert stats.evaluations == 0
 
 
 class TestBoundProvider:

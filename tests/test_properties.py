@@ -242,6 +242,66 @@ class TestEngineDeltaProperties:
 
 
 # ----------------------------------------------------------------------
+# Batch kernels: vectorized neighborhood scoring must agree elementwise
+# with the scalar delta path, and the vectorized feasibility mask with
+# the scalar predicate, on arbitrary generated instances.
+# ----------------------------------------------------------------------
+class TestBatchKernelProperties:
+    @COMMON_SETTINGS
+    @given(instances_with_order())
+    def test_eval_all_swaps_matches_scalar_elementwise(self, pair):
+        pytest.importorskip("numpy")
+        instance, base = pair
+        n = instance.n_indexes
+        vector_engine = EvalEngine(instance, kernel="numpy")
+        vector_engine.set_base(base)
+        scalar_engine = EvalEngine(instance, kernel="scalar")
+        scalar_engine.set_base(base)
+        matrix, feasible = vector_engine.eval_all_swaps()
+        assert all(feasible[a][b] for a in range(n) for b in range(n))
+        for pos_a in range(n):
+            for pos_b in range(n):
+                assert matrix[pos_a][pos_b] == pytest.approx(
+                    scalar_engine.eval_swap(pos_a, pos_b),
+                    rel=1e-9,
+                    abs=1e-7,
+                )
+
+    @COMMON_SETTINGS
+    @given(instances_with_base_and_move())
+    def test_eval_all_inserts_matches_scalar_elementwise(self, quad):
+        pytest.importorskip("numpy")
+        instance, base, src, _ = quad
+        engine = EvalEngine(instance, kernel="numpy")
+        engine.set_base(base)
+        scalar_engine = EvalEngine(instance, kernel="scalar")
+        scalar_engine.set_base(base)
+        vector, _ = engine.eval_all_inserts(base[src])
+        for dst in range(instance.n_indexes):
+            assert vector[dst] == pytest.approx(
+                scalar_engine.eval_relocate(src, dst), rel=1e-9, abs=1e-7
+            )
+
+    @COMMON_SETTINGS
+    @given(instances())
+    def test_feasibility_mask_matches_swap_feasible(self, instance):
+        pytest.importorskip("numpy")
+        from repro.core.batch import swap_feasibility_mask
+        from repro.solvers.localsearch.neighborhood import swap_feasible
+
+        report = analyze(instance)
+        constraints = report.constraints
+        base = constraints.topological_order()
+        mask = swap_feasibility_mask(base, constraints, swap_feasible)
+        n = instance.n_indexes
+        for pos_a in range(n):
+            for pos_b in range(n):
+                assert bool(mask[pos_a][pos_b]) == swap_feasible(
+                    base, pos_a, pos_b, constraints
+                )
+
+
+# ----------------------------------------------------------------------
 # swap_feasible: the windowed check must agree with the full scan on
 # feasible orders (its documented domain).
 # ----------------------------------------------------------------------
